@@ -1,0 +1,53 @@
+"""Micro-benchmarks of the simulation engines themselves.
+
+Not a paper artifact — these measure the raw throughput of the agent-level
+reference simulator and of the exact event-driven engine, which is what
+makes the paper-scale Figure 3 sweep feasible in Python.
+"""
+
+from repro.core.simulation import Simulator
+from repro.protocols.primitives.one_way_epidemic import OneWayEpidemicProtocol
+from repro.protocols.ranking.aggregate_space_efficient import (
+    AggregateSpaceEfficientRanking,
+)
+from repro.protocols.ranking.stable_ranking import StableRanking
+
+
+def test_reference_simulator_throughput(benchmark):
+    """Interactions per second of the agent-level simulator (StableRanking)."""
+    n = 128
+    protocol = StableRanking(n)
+    simulator = Simulator(protocol, random_state=0)
+    interactions_per_round = 20_000
+
+    def run():
+        simulator.run(max_interactions=interactions_per_round, stop_on_convergence=False)
+
+    benchmark.pedantic(run, rounds=5, iterations=1, warmup_rounds=1)
+    benchmark.extra_info["interactions_per_round"] = interactions_per_round
+
+
+def test_epidemic_simulation_throughput(benchmark):
+    """Interactions per second for the cheapest protocol (one-way epidemic)."""
+    n = 256
+    simulator = Simulator(OneWayEpidemicProtocol(n), random_state=1)
+    interactions_per_round = 50_000
+
+    def run():
+        simulator.run(max_interactions=interactions_per_round, stop_on_convergence=False)
+
+    benchmark.pedantic(run, rounds=5, iterations=1, warmup_rounds=1)
+    benchmark.extra_info["interactions_per_round"] = interactions_per_round
+
+
+def test_aggregate_engine_full_run(benchmark):
+    """Full SpaceEfficientRanking executions at n = 4096 via the event engine."""
+    seeds = iter(range(10_000))
+
+    def run():
+        engine = AggregateSpaceEfficientRanking(4096, random_state=next(seeds))
+        outcome = engine.run(max_interactions=10**14)
+        assert outcome.converged
+        return outcome
+
+    benchmark.pedantic(run, rounds=3, iterations=1)

@@ -1,0 +1,35 @@
+#!/usr/bin/env python3
+"""Scaling study — the scenario behind the paper's Figure 3.
+
+Uses the exact event-driven engine to measure how many interactions
+``SpaceEfficientRanking`` needs to rank the fractions 1/2, 3/4, 7/8 and 15/16
+of the population, across a range of population sizes.  The normalized times
+are flat in n (ranking a constant fraction costs Θ(n²) interactions), and the
+full stabilization time scales as Θ(n² log n).
+
+Usage:
+    python examples/scaling_study.py [max_n] [repetitions]
+"""
+
+import sys
+
+from repro.experiments import format_figure3, format_scaling, run_figure3, run_scaling
+
+
+def main() -> None:
+    max_n = int(sys.argv[1]) if len(sys.argv) > 1 else 2048
+    repetitions = int(sys.argv[2]) if len(sys.argv) > 2 else 10
+
+    n_values = [n for n in (128, 256, 512, 1024, 2048, 4096, 8192) if n <= max_n]
+
+    print("Time to rank constant fractions of the population (Figure 3):\n")
+    figure3 = run_figure3(n_values=n_values, repetitions=repetitions, engine="aggregate")
+    print(format_figure3(figure3))
+
+    print("\nFull stabilization time, normalized by n² log₂ n (Theorem 1):\n")
+    scaling = run_scaling(n_values=n_values, repetitions=repetitions, engine="aggregate")
+    print(format_scaling(scaling))
+
+
+if __name__ == "__main__":
+    main()

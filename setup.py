@@ -1,0 +1,11 @@
+"""Setuptools entry point.
+
+The pyproject.toml carries all metadata; this file exists so that
+``pip install -e .`` works in offline environments whose pip/setuptools
+combination cannot build PEP 660 editable wheels (no ``wheel`` package
+available).
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,78 @@
+"""repro — Silent Self-Stabilizing Ranking for population protocols.
+
+A from-scratch Python reproduction of
+
+    Berenbrink, Elsässer, Götte, Hintze, Kaaser:
+    "Silent Self-Stabilizing Ranking: Time Optimal and Space Efficient",
+    ICDCS 2025 (arXiv:2504.10417).
+
+The public API re-exports the most commonly used pieces:
+
+* the simulation core (:class:`Simulator`, :class:`Configuration`, …),
+* the paper's protocols (:class:`SpaceEfficientRanking`,
+  :class:`StableRanking`) and their substrates,
+* the baselines and the experiment drivers for the paper's figures.
+
+See ``README.md`` for a quickstart and ``DESIGN.md`` for the system
+inventory and the per-experiment index.
+"""
+
+from .core import (
+    AgentState,
+    Configuration,
+    MetricsCollector,
+    PopulationProtocol,
+    RankingProtocol,
+    Role,
+    SimulationResult,
+    Simulator,
+    TransitionResult,
+    classify_role,
+    make_rng,
+    standard_ranking_probes,
+)
+from .protocols.leader_election import (
+    FastLeaderElection,
+    FastLeaderElectionProtocol,
+    GSLeaderElection,
+    GSLeaderElectionProtocol,
+)
+from .protocols.ranking import (
+    AggregateSpaceEfficientRanking,
+    PhaseSchedule,
+    RankingPlus,
+    RankingRules,
+    SpaceEfficientRanking,
+    StableRanking,
+)
+from .protocols.reset import PropagateReset, PropagateResetProtocol
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AgentState",
+    "AggregateSpaceEfficientRanking",
+    "Configuration",
+    "FastLeaderElection",
+    "FastLeaderElectionProtocol",
+    "GSLeaderElection",
+    "GSLeaderElectionProtocol",
+    "MetricsCollector",
+    "PhaseSchedule",
+    "PopulationProtocol",
+    "PropagateReset",
+    "PropagateResetProtocol",
+    "RankingPlus",
+    "RankingProtocol",
+    "RankingRules",
+    "Role",
+    "SimulationResult",
+    "Simulator",
+    "SpaceEfficientRanking",
+    "StableRanking",
+    "TransitionResult",
+    "classify_role",
+    "make_rng",
+    "standard_ranking_probes",
+    "__version__",
+]

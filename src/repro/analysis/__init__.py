@@ -1,0 +1,57 @@
+"""Analysis utilities: tail bounds, theoretical predictions, state accounting."""
+
+from .state_space import (
+    StateUsageReport,
+    StateUsageTracker,
+    measure_state_usage,
+    overhead_state_table,
+)
+from .statistics import RunSummary, bootstrap_confidence_interval, summarize
+from .tail_bounds import (
+    coupon_collector_bound,
+    negative_binomial_lower_bound,
+    negative_binomial_upper_bound,
+    one_way_epidemic_bound,
+    sample_coupon_collector,
+    sample_negative_binomial,
+)
+from .theory import (
+    StateComplexitySummary,
+    burman_state_count,
+    cai_state_count,
+    normalized_stabilization_time,
+    range_ranking_lower_bound,
+    silent_leader_election_lower_bound,
+    state_complexity_summary,
+    theorem1_interaction_bound,
+    theorem1_state_count,
+    theorem2_interaction_bound,
+    theorem2_state_count,
+)
+
+__all__ = [
+    "RunSummary",
+    "StateComplexitySummary",
+    "StateUsageReport",
+    "StateUsageTracker",
+    "bootstrap_confidence_interval",
+    "burman_state_count",
+    "cai_state_count",
+    "coupon_collector_bound",
+    "measure_state_usage",
+    "negative_binomial_lower_bound",
+    "negative_binomial_upper_bound",
+    "normalized_stabilization_time",
+    "one_way_epidemic_bound",
+    "overhead_state_table",
+    "range_ranking_lower_bound",
+    "sample_coupon_collector",
+    "sample_negative_binomial",
+    "silent_leader_election_lower_bound",
+    "state_complexity_summary",
+    "summarize",
+    "theorem1_interaction_bound",
+    "theorem1_state_count",
+    "theorem2_interaction_bound",
+    "theorem2_state_count",
+]

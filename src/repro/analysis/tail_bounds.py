@@ -1,0 +1,103 @@
+"""Tail bounds used in the paper's analysis (Appendix A).
+
+The proofs of Lemmas 3–11 repeatedly bound three waiting-time distributions:
+
+* the **negative binomial** distribution (time until the leader's wait
+  counter expires, Lemma 12),
+* the **coupon collector** distribution (Lemma 13), and
+* the completion time of a **one-way epidemic** among a subpopulation
+  (Lemma 14).
+
+The functions below compute exactly the bounds stated in the paper; the test
+suite verifies them empirically against Monte-Carlo samples, which doubles as
+a sanity check of the simulation engine's waiting-time machinery.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from ..core.errors import AnalysisError
+
+__all__ = [
+    "negative_binomial_upper_bound",
+    "negative_binomial_lower_bound",
+    "coupon_collector_bound",
+    "one_way_epidemic_bound",
+    "sample_negative_binomial",
+    "sample_coupon_collector",
+]
+
+
+def negative_binomial_upper_bound(r: int, p: float, n: int, gamma: float) -> float:
+    """Lemma 12(1): ``Pr[X > (2/p)·(r + γ·log n)] ≤ n^-γ`` for ``X ~ NegBin(r, p)``."""
+    _check_negbin_args(r, p)
+    if n < 1 or gamma <= 0:
+        raise AnalysisError("n must be >= 1 and gamma > 0")
+    return 2.0 / p * (r + gamma * math.log(n))
+
+
+def negative_binomial_lower_bound(r: int, p: float) -> float:
+    """Lemma 12(2): ``Pr[X ≤ r / (2p)] ≤ exp(-r/6)`` for ``X ~ NegBin(r, p)``."""
+    _check_negbin_args(r, p)
+    return 0.5 * r / p
+
+
+def coupon_collector_bound(k: int, n: int, gamma: float) -> float:
+    """Lemma 13: ``Pr[X > k·(log k + γ·log n)] ≤ n^-γ`` for ``k`` coupons."""
+    if not 1 <= k <= n:
+        raise AnalysisError(f"need 1 <= k <= n, got k={k}, n={n}")
+    if gamma <= 0:
+        raise AnalysisError(f"gamma must be positive, got {gamma}")
+    return k * (math.log(max(k, 1)) + gamma * math.log(n))
+
+
+def one_way_epidemic_bound(n: int, m: int, gamma: float) -> float:
+    """Lemma 14: whp bound on a one-way epidemic among ``m`` of ``n`` agents.
+
+    ``Pr[X > 3·(n²/m)·(log m + 2γ·log n)] ≤ 2·n^-γ``.
+    """
+    if not 2 <= m <= n:
+        raise AnalysisError(f"need 2 <= m <= n, got m={m}, n={n}")
+    if gamma <= 0:
+        raise AnalysisError(f"gamma must be positive, got {gamma}")
+    return 3.0 * n * n / m * (math.log(m) + 2.0 * gamma * math.log(n))
+
+
+def sample_negative_binomial(
+    rng: np.random.Generator, r: int, p: float, size: int = 1
+) -> np.ndarray:
+    """Sample ``NegBin(r, p)`` in the paper's convention.
+
+    The paper counts the total number of Bernoulli trials needed for ``r``
+    successes (so the support starts at ``r``), whereas numpy's
+    ``negative_binomial`` counts only the failures; we add ``r`` to convert.
+    """
+    _check_negbin_args(r, p)
+    if size < 1:
+        raise AnalysisError(f"size must be positive, got {size}")
+    return rng.negative_binomial(r, p, size=size) + r
+
+
+def sample_coupon_collector(
+    rng: np.random.Generator, k: int, size: int = 1
+) -> np.ndarray:
+    """Sample the number of uniform draws needed to collect all ``k`` coupons."""
+    if k < 1:
+        raise AnalysisError(f"k must be positive, got {k}")
+    if size < 1:
+        raise AnalysisError(f"size must be positive, got {size}")
+    # Sum of independent geometrics with success probabilities (k-i)/k.
+    samples = np.zeros(size, dtype=np.int64)
+    for remaining in range(k, 0, -1):
+        samples += rng.geometric(remaining / k, size=size)
+    return samples
+
+
+def _check_negbin_args(r: int, p: float) -> None:
+    if r < 1:
+        raise AnalysisError(f"r must be at least 1, got {r}")
+    if not 0.0 < p <= 1.0:
+        raise AnalysisError(f"p must be in (0, 1], got {p}")

@@ -1,0 +1,142 @@
+"""Theoretical predictions from the paper, as executable formulas.
+
+These functions turn the paper's asymptotic statements into concrete numbers
+(with explicit, documented constants where the paper leaves them implicit)
+so the experiments can plot "measured vs. predicted shape" and the tests can
+check that measured quantities scale the way the theorems say they should.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict
+
+from ..core.errors import AnalysisError
+
+__all__ = [
+    "theorem1_interaction_bound",
+    "theorem2_interaction_bound",
+    "silent_leader_election_lower_bound",
+    "range_ranking_lower_bound",
+    "theorem1_state_count",
+    "theorem2_state_count",
+    "cai_state_count",
+    "burman_state_count",
+    "normalized_stabilization_time",
+    "StateComplexitySummary",
+    "state_complexity_summary",
+]
+
+
+def _check_n(n: int) -> None:
+    if n < 2:
+        raise AnalysisError(f"population size must be at least 2, got {n}")
+
+
+# ----------------------------------------------------------------------
+# Interaction-count predictions
+# ----------------------------------------------------------------------
+def theorem1_interaction_bound(n: int, constant: float = 1.0) -> float:
+    """Theorem 1: ``SpaceEfficientRanking`` stabilizes in ``O(n² log n)`` interactions."""
+    _check_n(n)
+    return constant * n * n * math.log2(n)
+
+
+def theorem2_interaction_bound(n: int, constant: float = 1.0) -> float:
+    """Theorem 2: ``StableRanking`` stabilizes in ``O(n² log n)`` interactions."""
+    _check_n(n)
+    return constant * n * n * math.log2(n)
+
+
+def silent_leader_election_lower_bound(n: int) -> float:
+    """Burman et al. [20]: every silent leader-election protocol needs
+    ``Ω(n²)`` interactions in expectation (``Ω(n² log n)`` w.h.p.).
+
+    Returned here as the expectation-level bound ``n·(n-1)/2``: the two last
+    unranked/undecided agents must meet at least once.
+    """
+    _check_n(n)
+    return n * (n - 1) / 2.0
+
+
+def range_ranking_lower_bound(n: int, extra_range: int) -> float:
+    """Gasieniec et al. [28]: ranks from ``[1, n + r]`` need at least
+    ``n·(n-1) / (2·(r+1))`` interactions in expectation."""
+    _check_n(n)
+    if extra_range < 0:
+        raise AnalysisError(f"extra_range must be non-negative, got {extra_range}")
+    return n * (n - 1) / (2.0 * (extra_range + 1))
+
+
+# ----------------------------------------------------------------------
+# State-count predictions
+# ----------------------------------------------------------------------
+def theorem1_state_count(n: int, c_wait: float = 2.0) -> int:
+    """Theorem 1 accounting: ``n + ⌈c_wait log n⌉ + ⌈log n⌉ + 2|Q_LE|`` states.
+
+    ``|Q_LE|`` is the ``O(log log n)`` state count of the black-box leader
+    election of [30] (rounded up to at least 2).
+    """
+    _check_n(n)
+    log_n = math.log2(n)
+    q_le = max(2, int(math.ceil(math.log2(max(log_n, 2.0)))))
+    return n + int(math.ceil(c_wait * log_n)) + int(math.ceil(log_n)) + 2 * q_le
+
+
+def theorem2_state_count(n: int, constant: float = 1.0) -> int:
+    """Theorem 2: ``n + O(log² n)`` states."""
+    _check_n(n)
+    return n + int(math.ceil(constant * math.log2(n) ** 2))
+
+
+def cai_state_count(n: int) -> int:
+    """Cai et al. [21]: exactly ``n`` states (and ``n`` states are necessary)."""
+    _check_n(n)
+    return n
+
+
+def burman_state_count(n: int, constant: float = 2.0) -> int:
+    """Burman et al. [20] (silent variant): ``n + Θ(n)`` states."""
+    _check_n(n)
+    return n + int(math.ceil(constant * n))
+
+
+# ----------------------------------------------------------------------
+# Derived quantities
+# ----------------------------------------------------------------------
+def normalized_stabilization_time(interactions: int, n: int) -> float:
+    """``interactions / (n² log₂ n)`` — constant iff the time is ``Θ(n² log n)``."""
+    _check_n(n)
+    return interactions / (n * n * math.log2(n))
+
+
+@dataclass(frozen=True)
+class StateComplexitySummary:
+    """Overhead-state comparison for one population size (experiment E4)."""
+
+    n: int
+    space_efficient_overhead: int
+    stable_overhead: int
+    cai_overhead: int
+    burman_overhead: int
+
+    def as_dict(self) -> Dict[str, int]:
+        return {
+            "n": self.n,
+            "space_efficient": self.space_efficient_overhead,
+            "stable": self.stable_overhead,
+            "cai": self.cai_overhead,
+            "burman": self.burman_overhead,
+        }
+
+
+def state_complexity_summary(n: int, c_wait: float = 2.0) -> StateComplexitySummary:
+    """Overhead states (total minus ``n``) predicted for each protocol family."""
+    return StateComplexitySummary(
+        n=n,
+        space_efficient_overhead=theorem1_state_count(n, c_wait) - n,
+        stable_overhead=theorem2_state_count(n) - n,
+        cai_overhead=0,
+        burman_overhead=burman_state_count(n) - n,
+    )

@@ -1,0 +1,106 @@
+"""Naive non-self-stabilizing baseline: a leader with an explicit counter.
+
+This is the "obvious" way to rank a population once a leader exists and
+memory is not a concern: the elected leader takes rank 1, remembers the next
+rank to assign in an explicit counter (``Θ(n)`` overhead states) and hands
+ranks out one by one — a sequential coupon-collector process that finishes
+in ``Θ(n² log n)`` interactions w.h.p.
+
+``SpaceEfficientRanking`` achieves the same running time while replacing the
+``Θ(n)``-state counter with the ``Θ(log n)``-state phase/waiting machinery,
+which is exactly the comparison this baseline exists for (experiment E5).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from ..core.configuration import Configuration
+from ..core.protocol import RankingProtocol, TransitionResult
+from ..core.state import AgentState
+from ..protocols.leader_election.gs_leader_election import GSLeaderElection
+from ..protocols.leader_election.interfaces import LeaderElectionModule
+
+__all__ = ["TokenCounterRanking"]
+
+
+class TokenCounterRanking(RankingProtocol[AgentState]):
+    """Leader-with-counter ranking (non-self-stabilizing baseline).
+
+    Parameters
+    ----------
+    n:
+        Population size.
+    leader_election:
+        Leader-election substrate; defaults to the same GS-style substitute
+        used by ``SpaceEfficientRanking`` so the comparison isolates the
+        ranking phase.
+    """
+
+    name = "token-counter-ranking"
+
+    def __init__(self, n: int, leader_election: Optional[LeaderElectionModule] = None):
+        super().__init__(n)
+        self._leader_election = leader_election or GSLeaderElection(n)
+
+    def initial_state(self) -> AgentState:
+        agent = AgentState()
+        self._leader_election.init_state(agent)
+        return agent
+
+    def transition(
+        self,
+        initiator: AgentState,
+        responder: AgentState,
+        rng: np.random.Generator,
+    ) -> TransitionResult:
+        u, v = initiator, responder
+        changed = False
+
+        # Leader election among agents that have not finished it yet.
+        if u.in_leader_election and v.in_leader_election:
+            changed = self._leader_election.apply(u, v, rng) or changed
+
+        # The elected leader takes rank 1 and starts the counter at 2.
+        for agent in (u, v):
+            if agent.is_leader == 1 and agent.leader_done == 1:
+                agent.clear_leader_election()
+                agent.rank = 1
+                agent.aux = 2
+                return TransitionResult(changed=True, rank_assigned=1)
+
+        # A leader-electing agent meeting a non-electing agent learns that the
+        # ranking has started and becomes a plain unranked agent.
+        if u.in_leader_election != v.in_leader_election:
+            joining = u if u.in_leader_election else v
+            joining.clear_leader_election()
+            changed = True
+
+        # The counter-carrying leader assigns the next rank to an unranked agent.
+        if (
+            u.rank is not None
+            and u.aux is not None
+            and u.aux <= self.n
+            and not v.in_leader_election
+            and v.rank is None
+        ):
+            assigned = u.aux
+            v.rank = assigned
+            u.aux = assigned + 1
+            return TransitionResult(changed=True, rank_assigned=assigned)
+        return TransitionResult(changed=changed)
+
+    def has_converged(self, configuration: Configuration[AgentState]) -> bool:
+        return configuration.is_valid_ranking()
+
+    # ------------------------------------------------------------------
+    # State accounting
+    # ------------------------------------------------------------------
+    def overhead_states(self) -> int:
+        """``Θ(n)``: the leader's rank-1-with-counter states."""
+        return self.n + 2  # counter values 2 … n+1, plus the blank unranked state
+
+    def state_space_size(self) -> int:
+        return self.n + self.overhead_states()

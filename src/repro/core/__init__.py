@@ -1,0 +1,54 @@
+"""Core population-protocol simulation model.
+
+This subpackage contains everything that is *not* specific to the paper's
+ranking protocols: agent states, configurations, the protocol abstraction,
+the uniform random scheduler, the reference simulator, metric collection and
+the exact event-driven simulation base class.
+"""
+
+from .aggregate import AggregateResult, EventDrivenSimulator
+from .configuration import Configuration
+from .errors import (
+    AnalysisError,
+    ConfigurationError,
+    ExperimentError,
+    ProtocolError,
+    ReproError,
+    SimulationLimitExceeded,
+)
+from .events import TraceEvent, TraceLog
+from .metrics import MetricsCollector, TimeSeries, standard_ranking_probes
+from .protocol import PopulationProtocol, RankingProtocol, TransitionResult
+from .rng import make_rng, spawn_rngs, spawn_seeds
+from .scheduler import UniformPairScheduler
+from .simulation import SimulationResult, Simulator
+from .state import AgentState, Role, classify_role
+
+__all__ = [
+    "AgentState",
+    "AggregateResult",
+    "AnalysisError",
+    "Configuration",
+    "ConfigurationError",
+    "EventDrivenSimulator",
+    "ExperimentError",
+    "MetricsCollector",
+    "PopulationProtocol",
+    "ProtocolError",
+    "RankingProtocol",
+    "ReproError",
+    "Role",
+    "SimulationLimitExceeded",
+    "SimulationResult",
+    "Simulator",
+    "TimeSeries",
+    "TraceEvent",
+    "TraceLog",
+    "TransitionResult",
+    "UniformPairScheduler",
+    "classify_role",
+    "make_rng",
+    "spawn_rngs",
+    "spawn_seeds",
+    "standard_ranking_probes",
+]

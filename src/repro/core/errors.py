@@ -1,0 +1,50 @@
+"""Exception hierarchy for the :mod:`repro` package.
+
+All exceptions raised intentionally by the library derive from
+:class:`ReproError` so downstream users can catch library failures with a
+single ``except`` clause without swallowing unrelated programming errors.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class ConfigurationError(ReproError):
+    """An initial or intermediate configuration is malformed.
+
+    Raised, for example, when a configuration does not have exactly ``n``
+    agent states, or when a workload generator is asked for an impossible
+    initial configuration (e.g. more ranked agents than the population size).
+    """
+
+
+class ProtocolError(ReproError):
+    """A protocol was constructed or used with invalid parameters.
+
+    Typical causes are a non-positive population size, inconsistent tuning
+    constants (e.g. ``c_wait <= 0``), or a transition function observing a
+    state that the protocol can never produce and cannot interpret.
+    """
+
+
+class SimulationLimitExceeded(ReproError):
+    """A simulation hit its interaction budget before converging.
+
+    The offending :class:`~repro.core.simulation.SimulationResult` is attached
+    as :attr:`result` so callers can still inspect the partial run.
+    """
+
+    def __init__(self, message: str, result=None):
+        super().__init__(message)
+        self.result = result
+
+
+class AnalysisError(ReproError):
+    """An analysis routine received data it cannot process."""
+
+
+class ExperimentError(ReproError):
+    """An experiment driver was configured inconsistently."""

@@ -1,0 +1,89 @@
+"""Structured trace events.
+
+The simulator can optionally record notable events (rank assignments, resets,
+leader elections) into a bounded :class:`TraceLog`.  Traces are intended for
+debugging and for the worked examples, not for large experiments, so the log
+keeps at most ``capacity`` entries and simply drops the oldest ones beyond
+that.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Deque, Iterator, List, Optional
+
+__all__ = ["TraceEvent", "TraceLog"]
+
+
+@dataclass(frozen=True, slots=True)
+class TraceEvent:
+    """One notable simulation event.
+
+    Attributes
+    ----------
+    interaction:
+        The interaction index (time step) at which the event occurred.
+    kind:
+        Short machine-readable tag, e.g. ``"rank_assigned"`` or ``"reset"``.
+    initiator / responder:
+        Indices of the interacting agents.
+    detail:
+        Optional extra payload (e.g. the assigned rank).
+    """
+
+    interaction: int
+    kind: str
+    initiator: int
+    responder: int
+    detail: Optional[object] = None
+
+
+class TraceLog:
+    """A bounded log of :class:`TraceEvent` entries."""
+
+    def __init__(self, capacity: int = 10_000):
+        if capacity < 1:
+            raise ValueError(f"capacity must be positive, got {capacity}")
+        self._events: Deque[TraceEvent] = deque(maxlen=capacity)
+        self._dropped = 0
+        self._capacity = capacity
+
+    @property
+    def capacity(self) -> int:
+        """Maximum number of retained events."""
+        return self._capacity
+
+    @property
+    def dropped(self) -> int:
+        """Number of events discarded because the log was full."""
+        return self._dropped
+
+    def append(self, event: TraceEvent) -> None:
+        """Add ``event``, evicting the oldest entry if the log is full."""
+        if len(self._events) == self._events.maxlen:
+            self._dropped += 1
+        self._events.append(event)
+
+    def record(
+        self,
+        interaction: int,
+        kind: str,
+        initiator: int,
+        responder: int,
+        detail: Optional[object] = None,
+    ) -> None:
+        """Convenience wrapper constructing and appending a :class:`TraceEvent`."""
+        self.append(TraceEvent(interaction, kind, initiator, responder, detail))
+
+    def events(self, kind: Optional[str] = None) -> List[TraceEvent]:
+        """Return recorded events, optionally filtered by ``kind``."""
+        if kind is None:
+            return list(self._events)
+        return [event for event in self._events if event.kind == kind]
+
+    def __len__(self) -> int:
+        return len(self._events)
+
+    def __iter__(self) -> Iterator[TraceEvent]:
+        return iter(self._events)

@@ -1,0 +1,261 @@
+"""The reference (agent-level) simulator.
+
+:class:`Simulator` drives a :class:`~repro.core.protocol.PopulationProtocol`
+under the uniform random scheduler exactly as defined in the paper's model:
+one ordered pair of distinct agents per time step, chosen uniformly at
+random, updated by the protocol's transition function.
+
+The simulator is the ground truth against which the faster engines
+(:mod:`repro.core.aggregate`, the array-based engines in
+:mod:`repro.protocols.ranking`) are validated.  It favours clarity over raw
+speed, but still amortizes pair sampling through the scheduler's chunked
+sampling and checks convergence only periodically (convergence checks are
+``O(n)``; checking after every interaction would dominate the runtime).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Optional
+
+from .configuration import Configuration
+from .errors import SimulationLimitExceeded
+from .metrics import MetricsCollector, TimeSeries
+from .protocol import PopulationProtocol, TransitionResult
+from .rng import RandomState
+from .scheduler import UniformPairScheduler
+
+__all__ = ["Simulator", "SimulationResult"]
+
+
+@dataclass
+class SimulationResult:
+    """Outcome of a simulation run.
+
+    Attributes
+    ----------
+    converged:
+        Whether the protocol's convergence predicate held when the run ended.
+    interactions:
+        Total number of interactions simulated.
+    configuration:
+        The final configuration (shared with the simulator, not a copy).
+    metrics:
+        Recorded time series, keyed by probe name (empty if no collector).
+    rank_assignments:
+        Number of interactions in which a rank was assigned.
+    resets:
+        Number of interactions that triggered a reset.
+    protocol:
+        Metadata dictionary from ``protocol.describe()``.
+    """
+
+    converged: bool
+    interactions: int
+    configuration: Configuration
+    metrics: Dict[str, TimeSeries] = field(default_factory=dict)
+    rank_assignments: int = 0
+    resets: int = 0
+    protocol: Dict[str, object] = field(default_factory=dict)
+
+    @property
+    def normalized_interactions(self) -> float:
+        """Interactions divided by ``n²`` (the unit used by the paper's plots)."""
+        n = self.configuration.population_size
+        return self.interactions / float(n * n)
+
+
+class Simulator:
+    """Agent-level simulator under the uniform random scheduler.
+
+    Parameters
+    ----------
+    protocol:
+        The population protocol to run.
+    configuration:
+        Initial configuration; defaults to ``protocol.initial_configuration()``.
+    random_state:
+        Seed or generator; the same stream drives pair selection and any
+        randomness the protocol consumes (synthetic coins are deterministic
+        state togglings and consume none).
+    metrics:
+        Optional :class:`MetricsCollector` sampled on its own schedule.
+    convergence_interval:
+        How often (in interactions) to evaluate the convergence predicate.
+        Defaults to ``n``.
+    on_event:
+        Optional callback ``(interaction, initiator, responder, result)``
+        invoked for every interaction whose transition reported a change.
+    """
+
+    def __init__(
+        self,
+        protocol: PopulationProtocol,
+        configuration: Optional[Configuration] = None,
+        random_state: RandomState = None,
+        metrics: Optional[MetricsCollector] = None,
+        convergence_interval: Optional[int] = None,
+        on_event: Optional[Callable[[int, int, int, TransitionResult], None]] = None,
+    ):
+        self._protocol = protocol
+        self._configuration = (
+            configuration if configuration is not None
+            else protocol.initial_configuration()
+        )
+        if self._configuration.population_size != protocol.n:
+            raise SimulationLimitExceeded(
+                f"configuration has {self._configuration.population_size} agents "
+                f"but protocol was built for n={protocol.n}"
+            )
+        self._scheduler = UniformPairScheduler(protocol.n, random_state)
+        self._metrics = metrics
+        self._convergence_interval = (
+            convergence_interval if convergence_interval is not None else protocol.n
+        )
+        if self._convergence_interval < 1:
+            raise ValueError("convergence_interval must be positive")
+        self._on_event = on_event
+        self._interactions = 0
+        self._rank_assignments = 0
+        self._resets = 0
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def protocol(self) -> PopulationProtocol:
+        """The protocol being simulated."""
+        return self._protocol
+
+    @property
+    def configuration(self) -> Configuration:
+        """The current (live, mutable) configuration."""
+        return self._configuration
+
+    @property
+    def interactions(self) -> int:
+        """Number of interactions simulated so far."""
+        return self._interactions
+
+    @property
+    def rng(self):
+        """The generator shared by the scheduler and protocol transitions."""
+        return self._scheduler.rng
+
+    # ------------------------------------------------------------------
+    # Stepping
+    # ------------------------------------------------------------------
+    def step(self) -> TransitionResult:
+        """Simulate a single interaction and return its transition result."""
+        initiator_index, responder_index = self._scheduler.sample()
+        states = self._configuration.states
+        result = self._protocol.transition(
+            states[initiator_index], states[responder_index], self._scheduler.rng
+        )
+        self._interactions += 1
+        if result.rank_assigned is not None:
+            self._rank_assignments += 1
+        if result.reset_triggered:
+            self._resets += 1
+        if self._on_event is not None and result.changed:
+            self._on_event(self._interactions, initiator_index, responder_index, result)
+        return result
+
+    def run(
+        self,
+        max_interactions: int,
+        stop_on_convergence: bool = True,
+        raise_on_limit: bool = False,
+    ) -> SimulationResult:
+        """Run until convergence or until ``max_interactions`` is reached.
+
+        Parameters
+        ----------
+        max_interactions:
+            Interaction budget for this call (not cumulative across calls).
+        stop_on_convergence:
+            If ``False``, always run the full budget (useful for recording
+            metric series past convergence, as the paper's Figure 2 does).
+        raise_on_limit:
+            If ``True``, raise :class:`SimulationLimitExceeded` when the
+            budget is exhausted without convergence.
+        """
+        if max_interactions < 0:
+            raise ValueError("max_interactions must be non-negative")
+
+        if self._metrics is not None and self._interactions == 0:
+            self._metrics.record(0, self._configuration)
+
+        budget_end = self._interactions + max_interactions
+        converged = self._protocol.has_converged(self._configuration)
+        next_check = self._interactions + self._convergence_interval
+
+        while self._interactions < budget_end and not (converged and stop_on_convergence):
+            self.step()
+            if self._metrics is not None:
+                self._metrics.maybe_record(self._interactions, self._configuration)
+            if self._interactions >= next_check:
+                converged = self._protocol.has_converged(self._configuration)
+                next_check = self._interactions + self._convergence_interval
+
+        converged = self._protocol.has_converged(self._configuration)
+        self._record_final_snapshot()
+        result = SimulationResult(
+            converged=converged,
+            interactions=self._interactions,
+            configuration=self._configuration,
+            metrics=self._metrics.series if self._metrics is not None else {},
+            rank_assignments=self._rank_assignments,
+            resets=self._resets,
+            protocol=self._protocol.describe(),
+        )
+        if raise_on_limit and not converged:
+            raise SimulationLimitExceeded(
+                f"{self._protocol.name} did not converge within "
+                f"{self._interactions} interactions",
+                result=result,
+            )
+        return result
+
+    def _record_final_snapshot(self) -> None:
+        """Record a closing metrics snapshot so series always end at the final state."""
+        if self._metrics is None:
+            return
+        for series in self._metrics.series.values():
+            if series.interactions and series.interactions[-1] == self._interactions:
+                return
+            break
+        self._metrics.record(self._interactions, self._configuration)
+
+    def run_until(
+        self,
+        predicate: Callable[[Configuration], bool],
+        max_interactions: int,
+        check_interval: Optional[int] = None,
+    ) -> SimulationResult:
+        """Run until ``predicate(configuration)`` holds (checked periodically).
+
+        Used by experiments that measure the time to reach intermediate
+        milestones, e.g. "half of the agents are ranked" in Figure 3.
+        """
+        if check_interval is None:
+            check_interval = max(1, self._protocol.n // 4)
+        budget_end = self._interactions + max_interactions
+        satisfied = predicate(self._configuration)
+        while not satisfied and self._interactions < budget_end:
+            target = min(self._interactions + check_interval, budget_end)
+            while self._interactions < target:
+                self.step()
+                if self._metrics is not None:
+                    self._metrics.maybe_record(self._interactions, self._configuration)
+            satisfied = predicate(self._configuration)
+        self._record_final_snapshot()
+        return SimulationResult(
+            converged=satisfied,
+            interactions=self._interactions,
+            configuration=self._configuration,
+            metrics=self._metrics.series if self._metrics is not None else {},
+            rank_assignments=self._rank_assignments,
+            resets=self._resets,
+            protocol=self._protocol.describe(),
+        )

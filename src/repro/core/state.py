@@ -1,0 +1,233 @@
+"""Agent state representation for the paper's protocols.
+
+The protocols of Berenbrink et al. operate on a *disjoint union* state space:
+at any time each agent holds exactly one of a small set of variables
+(``rank``, ``phase``, ``waitCount``, or a leader-election state), optionally
+extended in the self-stabilizing protocol by a synthetic ``coin``, the
+``aliveCount`` liveness counter and the ``resetCount``/``delayCount`` pair of
+the reset sub-protocol.
+
+:class:`AgentState` stores the superset of these variables; every field uses
+``None`` to encode the paper's "undefined" value ``⊥``.  The accompanying
+:class:`Role` enumeration and :func:`classify_role` implement the paper's
+vocabulary (leader-electing, waiting, phase, ranked, propagating, dormant
+agents).  Protocol implementations keep the paper's invariant that exactly
+one *main* variable is defined; the self-stabilizing protocol must also cope
+with adversarial states that violate it, which is why the invariant is
+checked by helpers instead of being baked into the data structure.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field, fields, replace
+from typing import Optional
+
+__all__ = [
+    "AgentState",
+    "Role",
+    "classify_role",
+    "UNDEFINED",
+]
+
+#: Alias documenting that ``None`` plays the role of the paper's ``⊥``.
+UNDEFINED = None
+
+
+class Role(enum.Enum):
+    """The paper's classification of agents by which variable they hold."""
+
+    #: The agent is still executing the leader-election sub-protocol.
+    LEADER_ELECTING = "leader_electing"
+    #: The agent holds ``waitCount`` (it is the leader waiting out a phase
+    #: transition).
+    WAITING = "waiting"
+    #: The agent holds ``phase`` (it is unranked and tracks the current phase).
+    PHASE = "phase"
+    #: The agent holds ``rank``.
+    RANKED = "ranked"
+    #: The agent is propagating a reset (``resetCount > 0``).
+    PROPAGATING = "propagating"
+    #: The agent finished propagating and waits to restart (``resetCount == 0``
+    #: and ``delayCount > 0``).
+    DORMANT = "dormant"
+    #: None of the above — only possible in adversarial initial configurations
+    #: of the self-stabilizing protocol.
+    BLANK = "blank"
+
+
+@dataclass(slots=True)
+class AgentState:
+    """Mutable state of a single agent.
+
+    Every field defaults to ``None`` (the paper's ``⊥``).  Protocols mutate
+    states in place during a transition; :meth:`copy` produces an independent
+    snapshot when needed (e.g. for traces or tests).
+
+    Attributes
+    ----------
+    rank:
+        The assigned rank in ``{1, …, n}``, or ``None`` if unranked.
+    phase:
+        The phase counter of an unranked agent (``{1, …, ⌈log₂ n⌉}``).
+    wait_count:
+        The leader's wait counter during a phase transition
+        (``{1, …, ⌈c_wait log n⌉}``).
+    coin:
+        The synthetic coin bit (0/1), flipped on every activation
+        (self-stabilizing protocol only).
+    alive_count:
+        The liveness counter of ``Ranking+`` used to detect lack of progress.
+    reset_count / delay_count:
+        Counters of the ``PropagateReset`` sub-protocol.
+    is_leader / leader_done:
+        Flags exposed by the leader-election sub-protocols.
+    le_count:
+        Interaction countdown timer of ``FastLeaderElection`` (``LECount``)
+        or of the GS-style substrate.
+    coin_count:
+        Remaining number of consecutive heads ``FastLeaderElection`` needs to
+        observe before declaring leadership (``coinCount``).
+    le_level:
+        Lottery level used by the GS-style leader-election substrate.
+    aux:
+        Auxiliary counter used by the baseline protocols (e.g. the
+        next-rank counter the Burman-style leader carries); unused by the
+        paper's protocols.
+    """
+
+    rank: Optional[int] = None
+    phase: Optional[int] = None
+    wait_count: Optional[int] = None
+    coin: Optional[int] = None
+    alive_count: Optional[int] = None
+    reset_count: Optional[int] = None
+    delay_count: Optional[int] = None
+    is_leader: Optional[int] = None
+    leader_done: Optional[int] = None
+    le_count: Optional[int] = None
+    coin_count: Optional[int] = None
+    le_level: Optional[int] = None
+    aux: Optional[int] = None
+
+    # ------------------------------------------------------------------
+    # Copying and equality helpers
+    # ------------------------------------------------------------------
+    def copy(self) -> "AgentState":
+        """Return an independent copy of this state."""
+        return replace(self)
+
+    def as_tuple(self) -> tuple:
+        """Return the state as a hashable tuple (field order is fixed)."""
+        return tuple(getattr(self, f.name) for f in fields(self))
+
+    # ------------------------------------------------------------------
+    # Queries used throughout the protocols
+    # ------------------------------------------------------------------
+    @property
+    def is_ranked(self) -> bool:
+        """Whether the agent currently holds a rank."""
+        return self.rank is not None
+
+    @property
+    def is_phase_agent(self) -> bool:
+        """Whether the agent currently holds a phase counter."""
+        return self.phase is not None
+
+    @property
+    def is_waiting(self) -> bool:
+        """Whether the agent currently holds a wait counter."""
+        return self.wait_count is not None
+
+    @property
+    def in_leader_election(self) -> bool:
+        """Whether the agent holds any leader-election variable (``qLE ≠ ⊥``)."""
+        return self.leader_done is not None
+
+    @property
+    def is_propagating(self) -> bool:
+        """Whether the agent is propagating a reset."""
+        return self.reset_count is not None and self.reset_count > 0
+
+    @property
+    def is_dormant(self) -> bool:
+        """Whether the agent is dormant (reset finished, waiting to restart)."""
+        return (
+            self.reset_count is not None
+            and self.reset_count == 0
+            and self.delay_count is not None
+            and self.delay_count > 0
+        )
+
+    @property
+    def in_reset(self) -> bool:
+        """Whether the agent holds any ``PropagateReset`` variable."""
+        return self.reset_count is not None or self.delay_count is not None
+
+    def main_variables(self) -> dict[str, int]:
+        """Return the defined *main* variables (rank/phase/waitCount/LE).
+
+        The paper's protocols maintain the invariant that exactly one main
+        variable is defined; the returned mapping makes that easy to assert
+        in tests without constraining adversarial configurations.
+        """
+        defined: dict[str, int] = {}
+        if self.rank is not None:
+            defined["rank"] = self.rank
+        if self.phase is not None:
+            defined["phase"] = self.phase
+        if self.wait_count is not None:
+            defined["wait_count"] = self.wait_count
+        if self.leader_done is not None:
+            defined["leader_election"] = self.leader_done
+        return defined
+
+    # ------------------------------------------------------------------
+    # Mutation helpers shared by the protocol implementations
+    # ------------------------------------------------------------------
+    def clear(self, *, keep_coin: bool = False) -> None:
+        """Set every variable to ``⊥``, optionally preserving the coin.
+
+        The paper's reset and role-switch rules repeatedly "forget" all state
+        except the synthetic coin; this helper centralizes that operation.
+        """
+        coin = self.coin if keep_coin else None
+        for f in fields(self):
+            setattr(self, f.name, None)
+        self.coin = coin
+
+    def clear_leader_election(self) -> None:
+        """Forget all leader-election variables (``qLE ← ⊥``)."""
+        self.is_leader = None
+        self.leader_done = None
+        self.le_count = None
+        self.coin_count = None
+        self.le_level = None
+
+    def toggle_coin(self) -> None:
+        """Flip the synthetic coin if the agent has one (cf. Protocol 3, line 9)."""
+        if self.coin is not None:
+            self.coin = 1 - self.coin
+
+
+def classify_role(state: AgentState) -> Role:
+    """Classify ``state`` into the paper's agent roles.
+
+    Reset-related roles take precedence because a propagating or dormant
+    agent has forgotten all its other variables by construction; the ordering
+    below also gives a sensible answer for adversarial configurations in
+    which several variables are defined simultaneously.
+    """
+    if state.is_propagating:
+        return Role.PROPAGATING
+    if state.is_dormant:
+        return Role.DORMANT
+    if state.in_leader_election:
+        return Role.LEADER_ELECTING
+    if state.is_waiting:
+        return Role.WAITING
+    if state.is_phase_agent:
+        return Role.PHASE
+    if state.is_ranked:
+        return Role.RANKED
+    return Role.BLANK

@@ -1,0 +1,63 @@
+"""Experiment drivers reproducing the paper's evaluation (and extensions)."""
+
+from .ascii_plot import ascii_plot, format_table
+from .comparison import ComparisonResult, format_comparison, run_comparison
+from .fault_injection import (
+    FaultInjectionResult,
+    format_fault_injection,
+    run_fault_injection,
+)
+from .figure2 import Figure2Result, format_figure2, run_figure2
+from .figure3 import (
+    PAPER_FRACTIONS,
+    Figure3Result,
+    format_figure3,
+    run_figure3,
+)
+from .harness import ExperimentRunner, RunRecord, SweepResult
+from .recording import default_results_dir, read_csv, write_csv, write_json
+from .scaling import ScalingResult, format_scaling, run_scaling
+from .workloads import (
+    adversarial_configuration,
+    duplicate_rank_configuration,
+    figure2_initial_configuration,
+    figure3_initial_configuration,
+    fresh_configuration,
+    missing_rank_configuration,
+    valid_ranking_configuration,
+)
+
+__all__ = [
+    "ComparisonResult",
+    "ExperimentRunner",
+    "FaultInjectionResult",
+    "Figure2Result",
+    "Figure3Result",
+    "PAPER_FRACTIONS",
+    "RunRecord",
+    "ScalingResult",
+    "SweepResult",
+    "adversarial_configuration",
+    "ascii_plot",
+    "default_results_dir",
+    "duplicate_rank_configuration",
+    "figure2_initial_configuration",
+    "figure3_initial_configuration",
+    "format_comparison",
+    "format_fault_injection",
+    "format_figure2",
+    "format_figure3",
+    "format_scaling",
+    "format_table",
+    "fresh_configuration",
+    "missing_rank_configuration",
+    "read_csv",
+    "run_comparison",
+    "run_fault_injection",
+    "run_figure2",
+    "run_figure3",
+    "run_scaling",
+    "valid_ranking_configuration",
+    "write_csv",
+    "write_json",
+]

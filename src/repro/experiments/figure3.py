@@ -1,0 +1,173 @@
+"""Experiment E2 — reproduce the paper's Figure 3.
+
+Figure 3 shows, for ``SpaceEfficientRanking`` and populations
+``n ∈ {128, 256, …, 8192}`` (100 runs per size in the paper), the number of
+interactions — normalized by ``n²`` — needed to rank the fractions 1/2,
+3/4, 7/8 and 15/16 of the agents, starting from a configuration with one
+unaware leader holding rank 1 and every other agent still in a leader
+election state.
+
+Expected shape: the normalized time per fraction is essentially flat in
+``n`` (ranking a constant fraction takes ``Θ(n²)`` interactions), and each
+successive fraction adds a roughly constant increment (the coupon-collector
+style doubling the paper discusses).
+
+Two engines are available:
+
+* ``"aggregate"`` (default) — the exact event-driven simulator
+  (:class:`~repro.protocols.ranking.aggregate_space_efficient.AggregateSpaceEfficientRanking`),
+  which handles the paper's full range of population sizes in seconds;
+* ``"reference"`` — the agent-level simulator, practical up to ``n ≈ 512``
+  and used to validate the aggregate engine.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence
+
+import numpy as np
+
+from ..analysis.statistics import summarize
+from ..core.errors import ExperimentError
+from ..core.rng import RandomState, spawn_seeds
+from ..core.simulation import Simulator
+from ..protocols.ranking.aggregate_space_efficient import AggregateSpaceEfficientRanking
+from ..protocols.ranking.space_efficient import SpaceEfficientRanking
+from .ascii_plot import format_table
+from .workloads import figure3_initial_configuration
+
+__all__ = ["Figure3Result", "run_figure3", "format_figure3", "PAPER_FRACTIONS"]
+
+#: The ranked fractions reported in the paper's Figure 3.
+PAPER_FRACTIONS = (0.5, 0.75, 0.875, 0.9375)
+
+#: The population sizes of the paper's Figure 3.
+PAPER_POPULATION_SIZES = (128, 256, 512, 1024, 2048, 4096, 8192)
+
+
+@dataclass
+class Figure3Result:
+    """Normalized times to rank each fraction, per population size."""
+
+    fractions: Sequence[float]
+    n_values: Sequence[int]
+    repetitions: int
+    engine: str
+    # samples[n][fraction] = list of interactions / n² values, one per run.
+    samples: Dict[int, Dict[float, List[float]]] = field(default_factory=dict)
+
+    def mean(self, n: int, fraction: float) -> float:
+        """Mean normalized time to rank ``fraction`` of the agents at size ``n``."""
+        return summarize(self.samples[n][fraction]).mean
+
+    def rows(self) -> List[dict]:
+        """One row per (n, fraction) with summary statistics."""
+        rows = []
+        for n in self.n_values:
+            for fraction in self.fractions:
+                summary = summarize(self.samples[n][fraction])
+                rows.append(
+                    {
+                        "n": n,
+                        "fraction": fraction,
+                        "mean_interactions_over_n2": summary.mean,
+                        "median_interactions_over_n2": summary.median,
+                        "std": summary.std,
+                        "runs": summary.count,
+                    }
+                )
+        return rows
+
+    def series_by_fraction(self) -> Dict[float, List[float]]:
+        """For each fraction, the mean normalized time per population size."""
+        return {
+            fraction: [self.mean(n, fraction) for n in self.n_values]
+            for fraction in self.fractions
+        }
+
+
+def run_figure3(
+    n_values: Sequence[int] = PAPER_POPULATION_SIZES,
+    fractions: Sequence[float] = PAPER_FRACTIONS,
+    repetitions: int = 100,
+    engine: str = "aggregate",
+    c_wait: float = 2.0,
+    random_state: RandomState = 0,
+) -> Figure3Result:
+    """Run the Figure 3 sweep and collect normalized milestone times."""
+    if engine not in ("aggregate", "reference"):
+        raise ExperimentError(f"unknown engine {engine!r}")
+    if repetitions < 1:
+        raise ExperimentError("repetitions must be positive")
+    fractions = tuple(sorted(fractions))
+    result = Figure3Result(
+        fractions=fractions,
+        n_values=tuple(n_values),
+        repetitions=repetitions,
+        engine=engine,
+    )
+    for n in n_values:
+        seeds = spawn_seeds((hash((int(n), str(random_state))) & 0x7FFFFFFF), repetitions)
+        per_fraction: Dict[float, List[float]] = {fraction: [] for fraction in fractions}
+        for seed in seeds:
+            rng = np.random.default_rng(seed)
+            if engine == "aggregate":
+                milestones = _run_aggregate(n, fractions, c_wait, rng)
+            else:
+                milestones = _run_reference(n, fractions, c_wait, rng)
+            for fraction, interactions in milestones.items():
+                per_fraction[fraction].append(interactions / float(n * n))
+        result.samples[n] = per_fraction
+    return result
+
+
+def _run_aggregate(
+    n: int, fractions: Sequence[float], c_wait: float, rng: np.random.Generator
+) -> Dict[float, int]:
+    simulator = AggregateSpaceEfficientRanking(n, c_wait=c_wait, random_state=rng)
+    milestones = simulator.milestone_predicates(fractions)
+    outcome = simulator.run(max_interactions=10**15, milestones=milestones)
+    if not outcome.converged:
+        raise ExperimentError(f"aggregate Figure 3 run for n={n} did not finish")
+    return {
+        fraction: outcome.milestones[f"ranked_{fraction}"] for fraction in fractions
+    }
+
+
+def _run_reference(
+    n: int, fractions: Sequence[float], c_wait: float, rng: np.random.Generator
+) -> Dict[float, int]:
+    protocol = SpaceEfficientRanking(n, c_wait=c_wait)
+    configuration = figure3_initial_configuration(protocol)
+    simulator = Simulator(protocol, configuration=configuration, random_state=rng)
+    budget = 500 * n * n
+    milestones: Dict[float, int] = {}
+    for fraction in sorted(fractions):
+        threshold = fraction * n
+        outcome = simulator.run_until(
+            lambda config, threshold=threshold: config.ranked_count() >= threshold,
+            max_interactions=budget - simulator.interactions,
+        )
+        if not outcome.converged:
+            raise ExperimentError(
+                f"reference Figure 3 run for n={n} missed fraction {fraction}"
+            )
+        milestones[fraction] = simulator.interactions
+    return milestones
+
+
+def format_figure3(result: Figure3Result) -> str:
+    """Render the Figure 3 sweep as a text table (one row per n, one column per fraction)."""
+    rows = []
+    for n in result.n_values:
+        row = {"n": n}
+        for fraction in result.fractions:
+            row[f"frac {fraction}"] = result.mean(n, fraction)
+        rows.append(row)
+    header = (
+        f"Figure 3 reproduction — SpaceEfficientRanking ({result.engine} engine, "
+        f"{result.repetitions} runs per n); entries are mean interactions / n² "
+        f"to rank the given fraction of agents"
+    )
+    return header + "\n" + format_table(rows)

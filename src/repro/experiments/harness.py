@@ -1,0 +1,193 @@
+"""Experiment harness: repeated, seeded runs and parameter sweeps.
+
+Every experiment in this repository follows the same pattern — build a
+protocol, build an initial configuration, run the simulator to convergence
+(or to a milestone), repeat over independent seeds, and summarize — so the
+harness factors that pattern out once.  Experiment drivers
+(:mod:`repro.experiments.figure2`, …) only provide factories and decide what
+to extract from each run.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence
+
+import numpy as np
+
+from ..core.configuration import Configuration
+from ..core.errors import ExperimentError
+from ..core.protocol import PopulationProtocol
+from ..core.rng import RandomState, spawn_seeds
+from ..core.simulation import SimulationResult, Simulator
+from ..analysis.statistics import RunSummary, summarize
+
+__all__ = ["RunRecord", "SweepResult", "ExperimentRunner"]
+
+ProtocolFactory = Callable[[], PopulationProtocol]
+ConfigurationFactory = Callable[[PopulationProtocol], Configuration]
+
+
+@dataclass
+class RunRecord:
+    """One simulation run inside an experiment."""
+
+    protocol: str
+    n: int
+    seed_index: int
+    converged: bool
+    interactions: int
+    resets: int
+    extras: Dict[str, float] = field(default_factory=dict)
+
+    @property
+    def normalized_interactions(self) -> float:
+        """Interactions divided by ``n²``."""
+        return self.interactions / float(self.n * self.n)
+
+    def as_dict(self) -> dict:
+        row = {
+            "protocol": self.protocol,
+            "n": self.n,
+            "seed_index": self.seed_index,
+            "converged": self.converged,
+            "interactions": self.interactions,
+            "normalized_interactions": self.normalized_interactions,
+            "resets": self.resets,
+        }
+        row.update(self.extras)
+        return row
+
+
+@dataclass
+class SweepResult:
+    """All runs of one experiment plus per-group summaries."""
+
+    records: List[RunRecord]
+
+    def group_by_n(self) -> Dict[int, List[RunRecord]]:
+        groups: Dict[int, List[RunRecord]] = {}
+        for record in self.records:
+            groups.setdefault(record.n, []).append(record)
+        return groups
+
+    def summary_by_n(self, key: Callable[[RunRecord], float]) -> Dict[int, RunSummary]:
+        """Summaries of ``key(record)`` per population size."""
+        return {
+            n: summarize([key(record) for record in records])
+            for n, records in sorted(self.group_by_n().items())
+        }
+
+    def convergence_rate(self) -> float:
+        """Fraction of runs that converged."""
+        if not self.records:
+            return 0.0
+        return sum(record.converged for record in self.records) / len(self.records)
+
+    def rows(self) -> List[dict]:
+        """All records as flat dictionaries (for CSV export)."""
+        return [record.as_dict() for record in self.records]
+
+
+class ExperimentRunner:
+    """Runs a protocol repeatedly with independent seeds.
+
+    Parameters
+    ----------
+    protocol_factory:
+        Builds a fresh protocol instance per run (protocol instances carry
+        mutable diagnostics, so they are not shared across runs).
+    configuration_factory:
+        Builds the initial configuration for a given protocol instance;
+        defaults to the protocol's designated initial configuration.
+    max_interactions:
+        Interaction budget per run.
+    random_state:
+        Master seed; per-run seeds are spawned deterministically from it.
+    """
+
+    def __init__(
+        self,
+        protocol_factory: ProtocolFactory,
+        configuration_factory: Optional[ConfigurationFactory] = None,
+        max_interactions: int = 10_000_000,
+        random_state: RandomState = 0,
+    ):
+        if max_interactions < 1:
+            raise ExperimentError("max_interactions must be positive")
+        self._protocol_factory = protocol_factory
+        self._configuration_factory = configuration_factory or (
+            lambda protocol: protocol.initial_configuration()
+        )
+        self._max_interactions = max_interactions
+        self._random_state = random_state
+
+    def run(
+        self,
+        repetitions: int,
+        stop_on_convergence: bool = True,
+        extras: Optional[Callable[[SimulationResult, Simulator], Dict[str, float]]] = None,
+    ) -> SweepResult:
+        """Execute ``repetitions`` independent runs and collect records."""
+        if repetitions < 1:
+            raise ExperimentError("repetitions must be positive")
+        seeds = spawn_seeds(self._random_state, repetitions)
+        records: List[RunRecord] = []
+        for index, seed in enumerate(seeds):
+            protocol = self._protocol_factory()
+            configuration = self._configuration_factory(protocol)
+            simulator = Simulator(
+                protocol,
+                configuration=configuration,
+                random_state=np.random.default_rng(seed),
+            )
+            result = simulator.run(
+                max_interactions=self._max_interactions,
+                stop_on_convergence=stop_on_convergence,
+            )
+            extra_values = extras(result, simulator) if extras is not None else {}
+            records.append(
+                RunRecord(
+                    protocol=protocol.name,
+                    n=protocol.n,
+                    seed_index=index,
+                    converged=result.converged,
+                    interactions=result.interactions,
+                    resets=result.resets,
+                    extras=extra_values,
+                )
+            )
+        return SweepResult(records)
+
+    def run_until(
+        self,
+        repetitions: int,
+        predicate: Callable[[Configuration], bool],
+    ) -> SweepResult:
+        """Like :meth:`run`, but each run stops when ``predicate`` holds."""
+        if repetitions < 1:
+            raise ExperimentError("repetitions must be positive")
+        seeds = spawn_seeds(self._random_state, repetitions)
+        records: List[RunRecord] = []
+        for index, seed in enumerate(seeds):
+            protocol = self._protocol_factory()
+            configuration = self._configuration_factory(protocol)
+            simulator = Simulator(
+                protocol,
+                configuration=configuration,
+                random_state=np.random.default_rng(seed),
+            )
+            result = simulator.run_until(
+                predicate, max_interactions=self._max_interactions
+            )
+            records.append(
+                RunRecord(
+                    protocol=protocol.name,
+                    n=protocol.n,
+                    seed_index=index,
+                    converged=result.converged,
+                    interactions=result.interactions,
+                    resets=result.resets,
+                )
+            )
+        return SweepResult(records)

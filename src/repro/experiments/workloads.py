@@ -1,0 +1,199 @@
+"""Initial-configuration generators (workloads).
+
+The paper's experiments and the self-stabilization tests need several kinds
+of starting configurations:
+
+* the designated **fresh** start (every agent in the protocol's initial
+  state);
+* the **Figure 2** worst-case configuration: agents ranked ``2 … n`` and a
+  single phase agent in the final phase with the maximum liveness counter —
+  the protocol has to discover that rank 1 is missing, which takes
+  ``Θ(n² log n)`` interactions, and then reset and re-rank everybody;
+* the **Figure 3** configuration: one unaware leader already holding rank 1
+  and every other agent still in a leader-election state;
+* **adversarial** configurations drawn uniformly-ish over the protocol's
+  state space, used to exercise self-stabilization;
+* targeted **fault injections** (duplicate ranks, missing leader) applied to
+  a valid ranking.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from ..core.configuration import Configuration
+from ..core.errors import ConfigurationError
+from ..core.rng import RandomState, make_rng
+from ..core.state import AgentState
+from ..protocols.ranking.space_efficient import SpaceEfficientRanking
+from ..protocols.ranking.stable_ranking import StableRanking
+
+__all__ = [
+    "fresh_configuration",
+    "figure2_initial_configuration",
+    "figure3_initial_configuration",
+    "valid_ranking_configuration",
+    "duplicate_rank_configuration",
+    "missing_rank_configuration",
+    "adversarial_configuration",
+]
+
+
+def fresh_configuration(protocol) -> Configuration:
+    """The protocol's designated initial configuration."""
+    return protocol.initial_configuration()
+
+
+def figure2_initial_configuration(protocol: StableRanking) -> Configuration[AgentState]:
+    """The worst-case initialization of the paper's Figure 2.
+
+    ``n - 1`` agents hold the ranks ``2 … n`` and one agent is a phase agent
+    with the maximum liveness counter.  The phase counter is set to the final
+    phase ``⌈log₂ n⌉`` so that no ranked agent passes the unaware-leader test
+    against it (rank 1 is missing), which is what makes the configuration
+    worst-case: the only way out is draining the liveness counter through
+    meetings with the agents ranked ``n-1`` and ``n``.
+    """
+    n = protocol.n
+    states = [
+        AgentState(
+            phase=protocol.schedule.phase_count,
+            coin=0,
+            alive_count=protocol.l_max,
+        )
+    ]
+    states.extend(AgentState(rank=rank) for rank in range(2, n + 1))
+    return Configuration(states)
+
+
+def figure3_initial_configuration(
+    protocol: SpaceEfficientRanking,
+) -> Configuration[AgentState]:
+    """The initialization of the paper's Figure 3.
+
+    One agent is the unaware leader with rank 1; all other agents are still
+    in the leader-election protocol's initial state.
+    """
+    states = [protocol.initial_state() for _ in range(protocol.n)]
+    states[0] = AgentState(rank=1)
+    return Configuration(states)
+
+
+def valid_ranking_configuration(n: int) -> Configuration[AgentState]:
+    """A clean legal configuration: agent ``i`` holds rank ``i + 1``."""
+    if n < 1:
+        raise ConfigurationError(f"population size must be positive, got {n}")
+    return Configuration([AgentState(rank=rank) for rank in range(1, n + 1)])
+
+
+def duplicate_rank_configuration(
+    n: int, duplicates: int = 1, random_state: RandomState = None
+) -> Configuration[AgentState]:
+    """A ranking with ``duplicates`` collisions injected (transient fault).
+
+    ``duplicates`` agents have their rank overwritten with some other agent's
+    rank, so the configuration has duplicate ranks and the same number of
+    missing ranks.
+    """
+    if duplicates < 1 or duplicates >= n:
+        raise ConfigurationError(
+            f"duplicates must be in [1, n-1], got {duplicates} for n={n}"
+        )
+    rng = make_rng(random_state)
+    configuration = valid_ranking_configuration(n)
+    victims = rng.choice(n, size=duplicates, replace=False)
+    for victim in victims:
+        donor = int(rng.integers(0, n))
+        while donor == victim:
+            donor = int(rng.integers(0, n))
+        configuration[int(victim)].rank = configuration[donor].rank
+    return configuration
+
+
+def missing_rank_configuration(
+    protocol: StableRanking, missing_rank: int = 1
+) -> Configuration[AgentState]:
+    """A ranking in which one rank is missing and one agent is unranked.
+
+    The unranked agent is a phase agent in phase 1 with a full liveness
+    counter; the configuration generalizes the Figure 2 workload to an
+    arbitrary missing rank.
+    """
+    n = protocol.n
+    if not 1 <= missing_rank <= n:
+        raise ConfigurationError(f"missing_rank must be in [1, {n}]")
+    states = [
+        AgentState(phase=1, coin=0, alive_count=protocol.l_max)
+    ]
+    states.extend(
+        AgentState(rank=rank) for rank in range(1, n + 1) if rank != missing_rank
+    )
+    return Configuration(states)
+
+
+def adversarial_configuration(
+    protocol: StableRanking, random_state: RandomState = None
+) -> Configuration[AgentState]:
+    """A random configuration over ``StableRanking``'s state space.
+
+    Each agent independently becomes a ranked agent (random rank, collisions
+    allowed), a phase agent, a waiting agent, a leader-electing agent, a
+    propagating agent or a dormant agent, with random counter values within
+    the protocol's bounds.  This is the kind of arbitrary configuration the
+    self-stabilization guarantee (Theorem 2) quantifies over.
+    """
+    rng = make_rng(random_state)
+    n = protocol.n
+    states = []
+    for _ in range(n):
+        kind = rng.choice(
+            ["ranked", "phase", "waiting", "leader_electing", "propagating", "dormant"]
+        )
+        coin = int(rng.integers(0, 2))
+        if kind == "ranked":
+            states.append(AgentState(rank=int(rng.integers(1, n + 1))))
+        elif kind == "phase":
+            states.append(
+                AgentState(
+                    phase=int(rng.integers(1, protocol.schedule.phase_count + 1)),
+                    coin=coin,
+                    alive_count=int(rng.integers(1, protocol.l_max + 1)),
+                )
+            )
+        elif kind == "waiting":
+            states.append(
+                AgentState(
+                    wait_count=int(rng.integers(1, protocol.wait_init + 1)),
+                    coin=coin,
+                    alive_count=int(rng.integers(1, protocol.l_max + 1)),
+                )
+            )
+        elif kind == "leader_electing":
+            agent = AgentState(coin=coin)
+            protocol.leader_election.init_state(agent)
+            agent.le_count = int(rng.integers(1, protocol.leader_election.l_max + 1))
+            agent.coin_count = int(
+                rng.integers(0, protocol.leader_election.coin_count_init + 1)
+            )
+            agent.leader_done = int(rng.integers(0, 2))
+            agent.is_leader = int(rng.integers(0, 2))
+            states.append(agent)
+        elif kind == "propagating":
+            states.append(
+                AgentState(
+                    coin=coin,
+                    reset_count=int(rng.integers(1, protocol.reset.r_max + 1)),
+                    delay_count=int(rng.integers(1, protocol.reset.d_max + 1)),
+                )
+            )
+        else:  # dormant
+            states.append(
+                AgentState(
+                    coin=coin,
+                    reset_count=0,
+                    delay_count=int(rng.integers(1, protocol.reset.d_max + 1)),
+                )
+            )
+    return Configuration(states)

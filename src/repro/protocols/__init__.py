@@ -1,0 +1,1 @@
+"""Protocol implementations: the paper's ranking protocols and their substrates."""

@@ -1,0 +1,18 @@
+"""Leader-election sub-protocols used by the ranking protocols."""
+
+from .fast_leader_election import (
+    FastLeaderElection,
+    FastLeaderElectionProtocol,
+    default_l_max,
+)
+from .gs_leader_election import GSLeaderElection, GSLeaderElectionProtocol
+from .interfaces import LeaderElectionModule
+
+__all__ = [
+    "FastLeaderElection",
+    "FastLeaderElectionProtocol",
+    "GSLeaderElection",
+    "GSLeaderElectionProtocol",
+    "LeaderElectionModule",
+    "default_l_max",
+]

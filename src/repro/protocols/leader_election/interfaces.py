@@ -1,0 +1,54 @@
+"""Interface shared by the leader-election sub-protocols.
+
+The ranking protocols use leader election as a black box with a small
+contract (cf. Lemma 15): agents carry the flags ``isLeader`` and
+``leaderDone``; once an agent has ``isLeader = leaderDone = 1`` it considers
+itself the unique elected leader, and w.h.p. no other agent ever reaches that
+combination.  Both implementations in this package
+(:class:`~repro.protocols.leader_election.gs_leader_election.GSLeaderElection`
+and
+:class:`~repro.protocols.leader_election.fast_leader_election.FastLeaderElection`)
+satisfy this contract and expose the same three methods so the ranking
+protocols can treat them interchangeably.
+"""
+
+from __future__ import annotations
+
+import abc
+
+import numpy as np
+
+from ...core.state import AgentState
+
+__all__ = ["LeaderElectionModule"]
+
+
+class LeaderElectionModule(abc.ABC):
+    """Contract implemented by leader-election sub-protocols."""
+
+    @abc.abstractmethod
+    def init_state(self, agent: AgentState) -> None:
+        """Install the sub-protocol's initial variables on ``agent``.
+
+        The agent's coin (if any) must be preserved.
+        """
+
+    @abc.abstractmethod
+    def apply(
+        self, initiator: AgentState, responder: AgentState, rng: np.random.Generator
+    ) -> bool:
+        """Run one interaction of the sub-protocol; return whether state changed.
+
+        Only called when both agents are still executing leader election
+        (``leader_done`` is defined on both).
+        """
+
+    @staticmethod
+    def is_elected(agent: AgentState) -> bool:
+        """Whether ``agent`` considers itself the elected leader."""
+        return agent.is_leader == 1 and agent.leader_done == 1
+
+    @staticmethod
+    def participates(agent: AgentState) -> bool:
+        """Whether ``agent`` is still executing leader election (``qLE ≠ ⊥``)."""
+        return agent.leader_done is not None

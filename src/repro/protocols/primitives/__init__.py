@@ -1,0 +1,19 @@
+"""Reusable population-protocol primitives (synthetic coin, epidemics)."""
+
+from .one_way_epidemic import EpidemicState, OneWayEpidemicProtocol, epidemic_upper_bound
+from .synthetic_coin import (
+    SyntheticCoinProtocol,
+    coin_counts,
+    coin_imbalance,
+    warmup_interactions,
+)
+
+__all__ = [
+    "EpidemicState",
+    "OneWayEpidemicProtocol",
+    "SyntheticCoinProtocol",
+    "coin_counts",
+    "coin_imbalance",
+    "epidemic_upper_bound",
+    "warmup_interactions",
+]

@@ -1,0 +1,135 @@
+"""One-way epidemics (broadcasts).
+
+A one-way epidemic spreads a piece of information from a single initially
+informed agent to the whole population (or to a designated subpopulation):
+whenever the initiator of an interaction is informed, the responder becomes
+informed as well.  The paper uses one-way epidemics in three places — to
+start the ranking after leader election, to propagate phase increments among
+the unranked agents, and (inside ``PropagateReset``) to spread resets — and
+analyses them with the tail bound of Lemma 14.
+
+This module provides a standalone epidemic protocol for tests and examples
+and the corresponding analytic bound.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from ...core.configuration import Configuration
+from ...core.protocol import PopulationProtocol, TransitionResult
+
+__all__ = [
+    "EpidemicState",
+    "OneWayEpidemicProtocol",
+    "epidemic_upper_bound",
+]
+
+
+@dataclass(slots=True)
+class EpidemicState:
+    """State of one agent in the standalone epidemic protocol.
+
+    Attributes
+    ----------
+    informed:
+        Whether the agent carries the broadcast.
+    active:
+        Whether the agent belongs to the subpopulation that participates in
+        the epidemic (the paper's epidemics among phase agents are restricted
+        to the ``m`` unranked agents; inactive agents model the rest).
+    rank:
+        Present only so the generic :class:`Configuration` helpers work; the
+        epidemic protocol itself never assigns ranks.
+    """
+
+    informed: bool = False
+    active: bool = True
+    rank: object = None
+
+    def copy(self) -> "EpidemicState":
+        return EpidemicState(self.informed, self.active, self.rank)
+
+
+class OneWayEpidemicProtocol(PopulationProtocol[EpidemicState]):
+    """One-way epidemic restricted to an ``m``-agent subpopulation.
+
+    Parameters
+    ----------
+    n:
+        Total population size.
+    m:
+        Size of the participating subpopulation (defaults to ``n``).  The
+        remaining ``n - m`` agents are inert, mirroring the setting of
+        Lemma 14 where ranked agents neither spread nor receive the epidemic.
+    """
+
+    name = "one-way-epidemic"
+
+    def __init__(self, n: int, m: int | None = None):
+        super().__init__(n)
+        self._m = n if m is None else int(m)
+        if not 1 <= self._m <= n:
+            raise ValueError(f"m must be in [1, n], got m={m} with n={n}")
+
+    @property
+    def m(self) -> int:
+        """Size of the participating subpopulation."""
+        return self._m
+
+    def initial_state(self) -> EpidemicState:
+        return EpidemicState(informed=False, active=True)
+
+    def initial_configuration(self) -> Configuration[EpidemicState]:
+        """One informed active agent, ``m - 1`` uninformed active agents, rest inert."""
+        states = [EpidemicState(informed=True, active=True)]
+        states += [EpidemicState(informed=False, active=True) for _ in range(self._m - 1)]
+        states += [
+            EpidemicState(informed=False, active=False) for _ in range(self.n - self._m)
+        ]
+        return Configuration(states)
+
+    def transition(
+        self,
+        initiator: EpidemicState,
+        responder: EpidemicState,
+        rng: np.random.Generator,
+    ) -> TransitionResult:
+        if (
+            initiator.active
+            and responder.active
+            and initiator.informed
+            and not responder.informed
+        ):
+            responder.informed = True
+            return TransitionResult(changed=True, label="infect")
+        return TransitionResult(changed=False)
+
+    def has_converged(self, configuration: Configuration[EpidemicState]) -> bool:
+        return all(
+            state.informed for state in configuration.states if state.active
+        )
+
+    def informed_count(self, configuration: Configuration[EpidemicState]) -> int:
+        """Number of informed agents in ``configuration``."""
+        return sum(1 for state in configuration.states if state.informed)
+
+    def state_space_size(self) -> int:
+        return 4  # informed x active
+
+
+def epidemic_upper_bound(n: int, m: int, gamma: float = 1.0) -> float:
+    """Interaction bound of Lemma 14.
+
+    With probability at least ``1 - 2·n^-gamma`` a one-way epidemic among a
+    subset of ``m`` agents (one initially informed) in a population of ``n``
+    agents completes within ``3·n²/m · (log m + 2·gamma·log n)`` interactions.
+    """
+    if not 2 <= m <= n:
+        raise ValueError(f"need 2 <= m <= n, got m={m}, n={n}")
+    if gamma <= 0:
+        raise ValueError(f"gamma must be positive, got {gamma}")
+    return 3.0 * n * n / m * (math.log(m) + 2.0 * gamma * math.log(n))

@@ -1,0 +1,98 @@
+"""The synthetic coin primitive.
+
+The self-stabilizing protocol needs randomness that is *part of the state*
+rather than drawn fresh in every transition: each unranked agent carries a
+bit ``coin(v)`` that is toggled on every activation (Protocol 3, lines 9–10).
+After a warm-up of ``O(n log log n)`` interactions the coins of the
+population are close to a balanced Bernoulli source (cf. Alistarh et al.
+[2] / Berenbrink et al. [14]), so "observe the partner's coin" behaves like a
+fair coin flip.
+
+This module provides helpers to query coin balance and a tiny standalone
+protocol used by the unit tests to verify the balance property empirically.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable
+
+import numpy as np
+
+from ...core.configuration import Configuration
+from ...core.protocol import PopulationProtocol, TransitionResult
+from ...core.state import AgentState
+
+__all__ = [
+    "coin_counts",
+    "coin_imbalance",
+    "warmup_interactions",
+    "SyntheticCoinProtocol",
+]
+
+
+def coin_counts(states: Iterable[AgentState]) -> tuple[int, int]:
+    """Return ``(zeros, ones)`` over all agents that carry a coin."""
+    zeros = 0
+    ones = 0
+    for state in states:
+        if state.coin == 0:
+            zeros += 1
+        elif state.coin == 1:
+            ones += 1
+    return zeros, ones
+
+
+def coin_imbalance(states: Iterable[AgentState]) -> int:
+    """Absolute difference between the number of 1-coins and 0-coins.
+
+    The leader-election entry condition ``C_LE`` (Definition 29) requires this
+    to be at most ``n / (4 log n)``.
+    """
+    zeros, ones = coin_counts(states)
+    return abs(ones - zeros)
+
+
+def warmup_interactions(n: int) -> int:
+    """Number of interactions after which coins are balanced w.h.p.
+
+    Lemma 28 (following [14]) holds for any interaction count of at least
+    ``n·log(4·log n)/2``; we round up and guard small populations.
+    """
+    if n < 2:
+        raise ValueError(f"population size must be at least 2, got {n}")
+    log_n = max(math.log2(n), 1.0)
+    return int(math.ceil(n * math.log(4.0 * log_n) / 2.0))
+
+
+class SyntheticCoinProtocol(PopulationProtocol[AgentState]):
+    """A protocol that only toggles the responder's coin.
+
+    Used by tests and examples to study the warm-up behaviour of the coin in
+    isolation.  Every agent starts with ``coin = 0`` (the worst case for the
+    balance property) and the responder toggles its coin on each interaction,
+    exactly like line 10 of Protocol 3.
+    """
+
+    name = "synthetic-coin"
+
+    def initial_state(self) -> AgentState:
+        return AgentState(coin=0)
+
+    def transition(
+        self,
+        initiator: AgentState,
+        responder: AgentState,
+        rng: np.random.Generator,
+    ) -> TransitionResult:
+        responder.toggle_coin()
+        return TransitionResult(changed=True, label="coin_toggle")
+
+    def has_converged(self, configuration: Configuration[AgentState]) -> bool:
+        """The coin protocol never terminates; convergence means balance."""
+        n = configuration.population_size
+        threshold = max(1.0, n / (4.0 * max(math.log2(n), 1.0)))
+        return coin_imbalance(configuration.states) <= threshold
+
+    def state_space_size(self) -> int:
+        return 2

@@ -1,0 +1,32 @@
+"""The paper's ranking protocols (core contribution)."""
+
+from .aggregate_space_efficient import AggregateSpaceEfficientRanking
+from .phases import PhaseSchedule, wait_count_init
+from .ranking_plus import RankingPlus, RankingPlusOutcome
+from .rules import RankingOutcome, RankingRules
+from .space_efficient import SpaceEfficientRanking
+from .stable_ranking import StableRanking
+from .states import (
+    in_main_state,
+    is_initial_ranking_configuration,
+    is_initial_waiting_configuration,
+    is_productive_pair,
+    is_start_ranking_configuration,
+)
+
+__all__ = [
+    "AggregateSpaceEfficientRanking",
+    "PhaseSchedule",
+    "RankingOutcome",
+    "RankingPlus",
+    "RankingPlusOutcome",
+    "RankingRules",
+    "SpaceEfficientRanking",
+    "StableRanking",
+    "in_main_state",
+    "is_initial_ranking_configuration",
+    "is_initial_waiting_configuration",
+    "is_productive_pair",
+    "is_start_ranking_configuration",
+    "wait_count_init",
+]

@@ -1,0 +1,277 @@
+"""Exact event-driven simulation of ``SpaceEfficientRanking``.
+
+The paper's Figure 3 measures, for populations up to ``n = 8192`` and 100
+repetitions per size, how many interactions it takes to rank constant
+fractions of the agents.  Simulating each of the ``Θ(n²)`` interactions
+individually in Python is out of reach at that scale, but almost all of those
+interactions are no-ops: the protocol only changes state when the (unaware or
+waiting) leader, a lagging phase agent, or a still-unconverted
+leader-electing agent is involved.
+
+:class:`AggregateSpaceEfficientRanking` therefore simulates the *same
+stochastic process* on group counts (see
+:class:`~repro.core.aggregate.EventDrivenSimulator`): it tracks the number of
+unconverted leader-electing agents, the number of phase agents per phase
+value, the leader's mode (holding a rank or waiting) and the set of assigned
+ranks, and enumerates every productive ordered-pair class together with its
+exact probability weight.  Runs of no-op interactions are skipped with
+geometrically distributed waiting times, so a full execution costs ``O(n)``
+events instead of ``Θ(n² log n)`` interactions.
+
+Two deliberate simplifications versus the agent-level reference (both
+validated to be statistically irrelevant by the test suite, see DESIGN.md):
+
+* interactions between two still-unconverted leader-electing agents are
+  treated as no-ops (their internal leader-election dynamics cannot elect a
+  second leader before the conversion epidemic absorbs them, w.h.p.);
+* the vanishing-probability path in which a stale ranked agent assigns a
+  duplicate rank to a phase agent whose phase lags several phases behind is
+  not modeled (it requires an unconverted agent to survive ``Θ(n²)``
+  interactions, while conversion completes within ``O(n log n)`` w.h.p.).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from ...core.aggregate import EventDrivenSimulator
+from ...core.errors import ConfigurationError
+from ...core.rng import RandomState
+from .phases import PhaseSchedule, wait_count_init
+
+__all__ = ["AggregateSpaceEfficientRanking"]
+
+
+class AggregateSpaceEfficientRanking(EventDrivenSimulator):
+    """Event-driven simulation of ``SpaceEfficientRanking``.
+
+    The default initial configuration is the one used by the paper's
+    Figure 3: one unaware leader already holding rank 1 and all other agents
+    still in a leader-election state.
+
+    Parameters
+    ----------
+    n:
+        Population size.
+    c_wait:
+        Wait-counter constant (default 2, as in the paper's simulations).
+    random_state:
+        Seed or generator.
+    """
+
+    def __init__(self, n: int, c_wait: float = 2.0, random_state: RandomState = None):
+        super().__init__(n, random_state)
+        self._schedule = PhaseSchedule(n)
+        self._wait_init = wait_count_init(n, c_wait)
+
+        # Figure 3 initial configuration.
+        self._unconverted = n - 1
+        self._phase_counts: Dict[int, int] = {}
+        self._leader_mode = "rank"
+        self._leader_rank = 1
+        self._leader_wait = 0
+        self._assigned: set[int] = set()
+
+    # ------------------------------------------------------------------
+    # Alternative initial configurations
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_start_ranking(
+        cls, n: int, c_wait: float = 2.0, random_state: RandomState = None
+    ) -> "AggregateSpaceEfficientRanking":
+        """Start from ``C_SR``: a waiting leader and ``n - 1`` phase-1 agents."""
+        simulator = cls(n, c_wait=c_wait, random_state=random_state)
+        simulator._unconverted = 0
+        simulator._phase_counts = {1: n - 1}
+        simulator._leader_mode = "wait"
+        simulator._leader_wait = simulator._wait_init
+        simulator._leader_rank = 0
+        simulator._assigned = set()
+        return simulator
+
+    # ------------------------------------------------------------------
+    # Aggregate state accessors
+    # ------------------------------------------------------------------
+    @property
+    def schedule(self) -> PhaseSchedule:
+        """The phase schedule."""
+        return self._schedule
+
+    @property
+    def phase_counts(self) -> Dict[int, int]:
+        """Number of phase agents per phase value (copy)."""
+        return dict(self._phase_counts)
+
+    @property
+    def unconverted(self) -> int:
+        """Number of agents still in a leader-election state."""
+        return self._unconverted
+
+    @property
+    def leader_mode(self) -> str:
+        """``"rank"`` while the leader holds a rank, ``"wait"`` while waiting."""
+        return self._leader_mode
+
+    def ranked_count(self) -> int:
+        """Number of ranked agents (including the leader when it holds a rank)."""
+        return len(self._assigned) + (1 if self._leader_mode == "rank" else 0)
+
+    def ranked_fraction(self) -> float:
+        """Fraction of agents currently holding a rank."""
+        return self.ranked_count() / self.n
+
+    def is_done(self) -> bool:
+        return self.ranked_count() == self.n
+
+    # ------------------------------------------------------------------
+    # Event decomposition
+    # ------------------------------------------------------------------
+    def event_weights(self) -> Dict[str, float]:
+        weights: Dict[str, float] = {}
+        schedule = self._schedule
+        phase_counts = self._phase_counts
+        unconverted = self._unconverted
+        ranked_others = len(self._assigned)
+        total_phase = sum(phase_counts.values())
+
+        if self._leader_mode == "rank":
+            rank = self._leader_rank
+            for phase, count in phase_counts.items():
+                if phase <= schedule.phase_count and 1 <= rank <= schedule.ranks_per_phase(phase):
+                    weights[f"assign:{phase}"] = count
+            if unconverted:
+                weights["convert_by_leader"] = unconverted
+        else:  # waiting leader
+            if total_phase:
+                weights["wait_tick"] = total_phase
+            if unconverted:
+                weights["convert_by_waiting"] = unconverted
+
+        # A phase-k agent meeting the holder of rank f_k advances its phase.
+        for phase, count in phase_counts.items():
+            if phase < schedule.phase_count and schedule.f(phase) in self._assigned:
+                weights[f"bump:{phase}"] = count
+
+        # Two phase agents with different phases adopt the maximum.
+        phases = sorted(phase_counts)
+        for i, low in enumerate(phases):
+            for high in phases[i + 1:]:
+                weights[f"merge:{low}:{high}"] = 2 * phase_counts[low] * phase_counts[high]
+
+        if unconverted:
+            # Conversions of leader-electing agents (Protocol 1, lines 7-9),
+            # split by the same-interaction follow-up they trigger.
+            for phase, count in phase_counts.items():
+                weights[f"convert_join:{phase}"] = 2 * unconverted * count
+            weights["convert_plain"] = unconverted * (ranked_others + 1)
+            bumper = 1 if self.n in self._assigned else 0
+            if bumper:
+                weights["convert_bumped"] = unconverted * bumper
+            remaining = ranked_others - bumper
+            if remaining:
+                weights["convert_plain_responder"] = unconverted * remaining
+        return weights
+
+    # ------------------------------------------------------------------
+    # Event application
+    # ------------------------------------------------------------------
+    def apply_event(self, name: str) -> None:
+        if name.startswith("assign:"):
+            self._apply_assignment(int(name.split(":")[1]))
+        elif name == "convert_by_leader":
+            self._unconverted -= 1
+            self._follow_up_leader_meets_new_phase_agent()
+        elif name == "convert_by_waiting":
+            self._unconverted -= 1
+            self._add_phase_agent(1)
+            self._tick_wait()
+        elif name == "wait_tick":
+            self._tick_wait()
+        elif name.startswith("bump:"):
+            phase = int(name.split(":")[1])
+            self._remove_phase_agent(phase)
+            self._add_phase_agent(phase + 1)
+        elif name.startswith("merge:"):
+            _, low, high = name.split(":")
+            self._remove_phase_agent(int(low))
+            self._add_phase_agent(int(high))
+        elif name.startswith("convert_join:"):
+            phase = int(name.split(":")[1])
+            self._unconverted -= 1
+            self._add_phase_agent(phase)
+        elif name in ("convert_plain", "convert_plain_responder"):
+            self._unconverted -= 1
+            self._add_phase_agent(1)
+        elif name == "convert_bumped":
+            self._unconverted -= 1
+            self._add_phase_agent(2)
+        else:  # pragma: no cover - defensive
+            raise ConfigurationError(f"unknown aggregate event {name!r}")
+
+    # ------------------------------------------------------------------
+    # Internal state updates
+    # ------------------------------------------------------------------
+    def _add_phase_agent(self, phase: int) -> None:
+        phase = min(phase, self._schedule.phase_count)
+        self._phase_counts[phase] = self._phase_counts.get(phase, 0) + 1
+
+    def _remove_phase_agent(self, phase: int) -> None:
+        count = self._phase_counts.get(phase, 0)
+        if count <= 0:
+            raise ConfigurationError(f"no phase-{phase} agents to remove")
+        if count == 1:
+            del self._phase_counts[phase]
+        else:
+            self._phase_counts[phase] = count - 1
+
+    def _tick_wait(self) -> None:
+        self._leader_wait -= 1
+        if self._leader_wait <= 0:
+            self._leader_mode = "rank"
+            self._leader_rank = 1
+
+    def _apply_assignment(self, phase: int) -> None:
+        """The unaware leader assigns the next rank of ``phase`` (lines 4-9)."""
+        schedule = self._schedule
+        self._remove_phase_agent(phase)
+        boundary = schedule.ranks_per_phase(phase)
+        assigned_rank = schedule.f(phase + 1) + self._leader_rank
+        self._assigned.add(assigned_rank)
+        if self._leader_rank < boundary:
+            self._leader_rank += 1
+        elif phase < schedule.phase_count:
+            self._leader_mode = "wait"
+            self._leader_wait = self._wait_init
+            self._leader_rank = 0
+        # In the final phase the leader keeps its rank and the run finishes.
+
+    def _follow_up_leader_meets_new_phase_agent(self) -> None:
+        """A converted agent (phase 1) immediately interacts with the leader.
+
+        Protocol 1 runs ``Ranking(u, v)`` in the same interaction after the
+        conversion of lines 7-9, so when the leader initiated the conversion
+        it may directly assign a rank to the fresh phase-1 agent.
+        """
+        schedule = self._schedule
+        boundary = schedule.ranks_per_phase(1)
+        rank = self._leader_rank
+        if 1 <= rank <= boundary:
+            self._assigned.add(schedule.f(2) + rank)
+            if rank < boundary:
+                self._leader_rank += 1
+            elif schedule.phase_count > 1:
+                self._leader_mode = "wait"
+                self._leader_wait = self._wait_init
+                self._leader_rank = 0
+        else:
+            self._add_phase_agent(1)
+
+    # ------------------------------------------------------------------
+    # Convenience for experiments
+    # ------------------------------------------------------------------
+    def milestone_predicates(self, fractions) -> Dict[str, object]:
+        """Milestone predicates "at least ``fraction`` of the agents ranked"."""
+        def make(threshold: float):
+            return lambda: self.ranked_count() >= threshold * self.n
+
+        return {f"ranked_{fraction}": make(fraction) for fraction in fractions}

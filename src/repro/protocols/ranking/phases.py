@@ -1,0 +1,115 @@
+"""The phase schedule of the ranking protocols.
+
+Ranks are assigned in ``⌈log₂ n⌉`` phases.  Writing ``f_k`` for the maximal
+rank assigned in phase ``k``, the paper defines ``f_1 = n`` and
+``f_i = ⌈f_{i-1} / 2⌉`` for ``i > 1``; phase ``k`` assigns the ranks
+``f_{k+1} + 1, …, f_k`` (Section IV).  The sequence always ends with
+``f_{⌈log₂ n⌉ + 1} = 1``, so across all phases exactly the ranks
+``2, …, n`` are handed out and the unaware leader keeps rank 1.
+
+:class:`PhaseSchedule` precomputes the sequence once per population size and
+offers the queries the protocols and the analysis need.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List
+
+from ...core.errors import ProtocolError
+
+__all__ = ["PhaseSchedule", "wait_count_init"]
+
+
+def wait_count_init(n: int, c_wait: float) -> int:
+    """The leader's wait counter ``⌈c_wait · log₂ n⌉`` (at least 1)."""
+    if n < 2:
+        raise ProtocolError(f"population size must be at least 2, got {n}")
+    if c_wait <= 0:
+        raise ProtocolError(f"c_wait must be positive, got {c_wait}")
+    return max(1, int(math.ceil(c_wait * math.log2(n))))
+
+
+class PhaseSchedule:
+    """Precomputed ``f_k`` sequence and derived phase queries for a given ``n``."""
+
+    def __init__(self, n: int):
+        if n < 2:
+            raise ProtocolError(f"population size must be at least 2, got {n}")
+        self._n = n
+        self._phase_count = max(1, int(math.ceil(math.log2(n))))
+        # self._f[k] = f_k for k = 1 … phase_count + 1 (index 0 unused).
+        values: List[int] = [0, n]
+        for _ in range(self._phase_count):
+            values.append(math.ceil(values[-1] / 2))
+        self._f = values
+
+    @property
+    def n(self) -> int:
+        """Population size."""
+        return self._n
+
+    @property
+    def phase_count(self) -> int:
+        """Number of phases, ``⌈log₂ n⌉``."""
+        return self._phase_count
+
+    def f(self, k: int) -> int:
+        """``f_k``, the largest rank assigned in phase ``k``.
+
+        Defined for ``1 ≤ k ≤ phase_count + 1``; ``f_{phase_count + 1} = 1``.
+        """
+        if not 1 <= k <= self._phase_count + 1:
+            raise ProtocolError(
+                f"phase index must be in [1, {self._phase_count + 1}], got {k}"
+            )
+        return self._f[k]
+
+    def ranks_in_phase(self, k: int) -> range:
+        """The ranks assigned during phase ``k``: ``f_{k+1} + 1 … f_k``."""
+        if not 1 <= k <= self._phase_count:
+            raise ProtocolError(
+                f"phase index must be in [1, {self._phase_count}], got {k}"
+            )
+        return range(self.f(k + 1) + 1, self.f(k) + 1)
+
+    def ranks_per_phase(self, k: int) -> int:
+        """Number of ranks assigned in phase ``k`` (``f_k - f_{k+1}``)."""
+        return self.f(k) - self.f(k + 1)
+
+    def is_final_phase(self, k: int) -> bool:
+        """Whether ``k`` is the last phase."""
+        return k >= self._phase_count
+
+    def phase_of_rank(self, rank: int) -> int:
+        """The phase during which ``rank`` is assigned (rank 1 → phase count).
+
+        Rank 1 is never handed out — it is the unaware leader's own rank at
+        the end of the final phase — so it is attributed to the final phase.
+        """
+        if not 1 <= rank <= self._n:
+            raise ProtocolError(f"rank must be in [1, {self._n}], got {rank}")
+        if rank == 1:
+            return self._phase_count
+        for k in range(1, self._phase_count + 1):
+            if rank in self.ranks_in_phase(k):
+                return k
+        raise ProtocolError(f"rank {rank} not covered by any phase")  # pragma: no cover
+
+    def unranked_leader_threshold(self, phase: int) -> int:
+        """The ``⌊n · 2^-phase⌋`` threshold used by ``Ranking+`` (line 13).
+
+        A ranked agent ``u`` meeting a phase-``phase`` agent concludes that it
+        is the unaware leader when ``rank(u)`` is at most this value.
+        """
+        if phase < 1:
+            raise ProtocolError(f"phase must be at least 1, got {phase}")
+        return int(math.floor(self._n * 2.0 ** (-phase)))
+
+    def describe(self) -> dict:
+        """Schedule metadata for experiment records."""
+        return {
+            "n": self._n,
+            "phase_count": self._phase_count,
+            "f": {k: self.f(k) for k in range(1, self._phase_count + 2)},
+        }

@@ -1,0 +1,5 @@
+"""Reset propagation sub-protocol (Burman et al. [20])."""
+
+from .propagate_reset import PropagateReset, PropagateResetProtocol, default_reset_depths
+
+__all__ = ["PropagateReset", "PropagateResetProtocol", "default_reset_depths"]

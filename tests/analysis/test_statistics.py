@@ -1,0 +1,44 @@
+"""Tests for the run-statistics helpers."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.statistics import bootstrap_confidence_interval, summarize
+from repro.core.errors import AnalysisError
+
+
+class TestSummarize:
+    def test_rejects_empty(self):
+        with pytest.raises(AnalysisError):
+            summarize([])
+
+    def test_single_value(self):
+        summary = summarize([3.0])
+        assert summary.mean == 3.0
+        assert summary.std == 0.0
+        assert summary.count == 1
+
+    def test_known_sample(self):
+        summary = summarize([1.0, 2.0, 3.0, 4.0])
+        assert summary.mean == pytest.approx(2.5)
+        assert summary.median == pytest.approx(2.5)
+        assert summary.minimum == 1.0 and summary.maximum == 4.0
+        assert summary.quantile_25 <= summary.median <= summary.quantile_75
+        assert summary.as_dict()["count"] == 4
+
+
+class TestBootstrap:
+    def test_interval_contains_true_mean_for_large_sample(self):
+        rng = np.random.default_rng(0)
+        sample = rng.normal(loc=10.0, scale=2.0, size=400)
+        low, high = bootstrap_confidence_interval(sample, random_state=1)
+        assert low < 10.0 < high
+        assert high - low < 1.0
+
+    def test_validation(self):
+        with pytest.raises(AnalysisError):
+            bootstrap_confidence_interval([])
+        with pytest.raises(AnalysisError):
+            bootstrap_confidence_interval([1.0], confidence=1.5)
+        with pytest.raises(AnalysisError):
+            bootstrap_confidence_interval([1.0], resamples=0)

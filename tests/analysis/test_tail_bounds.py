@@ -1,0 +1,105 @@
+"""Tests for the tail bounds of Appendix A, checked against Monte-Carlo samples."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.tail_bounds import (
+    coupon_collector_bound,
+    negative_binomial_lower_bound,
+    negative_binomial_upper_bound,
+    one_way_epidemic_bound,
+    sample_coupon_collector,
+    sample_negative_binomial,
+)
+from repro.core.errors import AnalysisError
+from repro.core.rng import make_rng
+
+
+class TestArgumentValidation:
+    def test_negative_binomial_rejects_bad_arguments(self):
+        with pytest.raises(AnalysisError):
+            negative_binomial_upper_bound(0, 0.5, 10, 1.0)
+        with pytest.raises(AnalysisError):
+            negative_binomial_upper_bound(3, 1.5, 10, 1.0)
+        with pytest.raises(AnalysisError):
+            negative_binomial_upper_bound(3, 0.5, 10, 0.0)
+        with pytest.raises(AnalysisError):
+            negative_binomial_lower_bound(3, 0.0)
+
+    def test_coupon_collector_rejects_bad_arguments(self):
+        with pytest.raises(AnalysisError):
+            coupon_collector_bound(0, 10, 1.0)
+        with pytest.raises(AnalysisError):
+            coupon_collector_bound(11, 10, 1.0)
+
+    def test_epidemic_rejects_bad_arguments(self):
+        with pytest.raises(AnalysisError):
+            one_way_epidemic_bound(10, 1, 1.0)
+
+    def test_samplers_reject_bad_sizes(self):
+        with pytest.raises(AnalysisError):
+            sample_negative_binomial(make_rng(0), 3, 0.5, size=0)
+        with pytest.raises(AnalysisError):
+            sample_coupon_collector(make_rng(0), 0)
+
+
+class TestLemma12NegativeBinomial:
+    def test_upper_bound_holds_empirically(self):
+        rng = make_rng(0)
+        r, p, n, gamma = 10, 0.05, 100, 1.0
+        bound = negative_binomial_upper_bound(r, p, n, gamma)
+        samples = sample_negative_binomial(rng, r, p, size=5000)
+        violation_rate = float(np.mean(samples > bound))
+        assert violation_rate <= 1.0 / n + 0.02
+
+    def test_lower_bound_holds_empirically(self):
+        rng = make_rng(1)
+        r, p = 20, 0.1
+        bound = negative_binomial_lower_bound(r, p)
+        samples = sample_negative_binomial(rng, r, p, size=5000)
+        violation_rate = float(np.mean(samples <= bound))
+        assert violation_rate <= np.exp(-r / 6) + 0.02
+
+    def test_sample_mean_matches_distribution(self):
+        rng = make_rng(2)
+        samples = sample_negative_binomial(rng, 5, 0.25, size=20_000)
+        assert samples.min() >= 5
+        assert float(samples.mean()) == pytest.approx(5 / 0.25, rel=0.05)
+
+
+class TestLemma13CouponCollector:
+    def test_bound_holds_empirically(self):
+        rng = make_rng(3)
+        k, n, gamma = 30, 50, 1.0
+        bound = coupon_collector_bound(k, n, gamma)
+        samples = sample_coupon_collector(rng, k, size=3000)
+        violation_rate = float(np.mean(samples > bound))
+        assert violation_rate <= 1.0 / n + 0.02
+
+    def test_sample_mean_matches_harmonic_formula(self):
+        rng = make_rng(4)
+        k = 20
+        expectation = k * sum(1.0 / i for i in range(1, k + 1))
+        samples = sample_coupon_collector(rng, k, size=10_000)
+        assert float(samples.mean()) == pytest.approx(expectation, rel=0.05)
+
+
+class TestLemma14OneWayEpidemic:
+    def test_bound_dominates_simulated_epidemics(self):
+        """The Lemma 14 bound must exceed simulated completion times (m = n case)."""
+        from repro.core.simulation import Simulator
+        from repro.protocols.primitives.one_way_epidemic import OneWayEpidemicProtocol
+
+        n = 60
+        bound = one_way_epidemic_bound(n, n, gamma=1.0)
+        violations = 0
+        runs = 20
+        for seed in range(runs):
+            simulator = Simulator(OneWayEpidemicProtocol(n), random_state=seed)
+            result = simulator.run(max_interactions=int(bound) + 1)
+            if not result.converged:
+                violations += 1
+        assert violations <= 1
+
+    def test_bound_scales_inversely_with_subpopulation(self):
+        assert one_way_epidemic_bound(200, 20, 1.0) > 5 * one_way_epidemic_bound(200, 200, 1.0)

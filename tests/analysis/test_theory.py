@@ -1,0 +1,71 @@
+"""Tests for the theoretical-prediction helpers."""
+
+import math
+
+import pytest
+
+from repro.analysis.theory import (
+    burman_state_count,
+    cai_state_count,
+    normalized_stabilization_time,
+    range_ranking_lower_bound,
+    silent_leader_election_lower_bound,
+    state_complexity_summary,
+    theorem1_interaction_bound,
+    theorem1_state_count,
+    theorem2_interaction_bound,
+    theorem2_state_count,
+)
+from repro.core.errors import AnalysisError
+
+
+class TestInteractionBounds:
+    def test_theorem_bounds_scale_like_n2_logn(self):
+        ratio = theorem1_interaction_bound(2048) / theorem1_interaction_bound(1024)
+        assert ratio == pytest.approx(4 * 11 / 10, rel=0.01)
+        assert theorem2_interaction_bound(256) == theorem1_interaction_bound(256)
+
+    def test_lower_bounds(self):
+        assert silent_leader_election_lower_bound(100) == pytest.approx(4950)
+        assert range_ranking_lower_bound(100, 0) == pytest.approx(4950)
+        assert range_ranking_lower_bound(100, 99) < range_ranking_lower_bound(100, 0)
+
+    def test_validation(self):
+        with pytest.raises(AnalysisError):
+            theorem1_interaction_bound(1)
+        with pytest.raises(AnalysisError):
+            range_ranking_lower_bound(10, -1)
+
+
+class TestStateCounts:
+    def test_theorem1_overhead_is_logarithmic(self):
+        overhead = theorem1_state_count(4096) - 4096
+        assert overhead <= 6 * math.log2(4096)
+
+    def test_theorem2_overhead_is_polylog(self):
+        assert theorem2_state_count(4096) - 4096 == math.ceil(math.log2(4096) ** 2)
+
+    def test_baseline_counts(self):
+        assert cai_state_count(50) == 50
+        assert burman_state_count(50) - 50 >= 50
+
+    def test_ordering_matches_paper_narrative(self):
+        """Cai < SpaceEfficient < Stable << Burman in overhead states for large n."""
+        n = 8192
+        summary = state_complexity_summary(n)
+        assert summary.cai_overhead == 0
+        assert summary.cai_overhead < summary.space_efficient_overhead
+        assert summary.space_efficient_overhead < summary.stable_overhead
+        assert summary.stable_overhead < summary.burman_overhead
+        assert summary.as_dict()["n"] == n
+
+
+class TestNormalization:
+    def test_normalized_stabilization_time(self):
+        n = 128
+        interactions = 5 * n * n * math.log2(n)
+        assert normalized_stabilization_time(int(interactions), n) == pytest.approx(5.0, rel=0.01)
+
+    def test_rejects_tiny_population(self):
+        with pytest.raises(AnalysisError):
+            normalized_stabilization_time(100, 1)

@@ -1,0 +1,98 @@
+"""Unit tests for the event-driven simulation base class."""
+
+import numpy as np
+import pytest
+
+from repro.core.aggregate import EventDrivenSimulator
+from repro.core.errors import SimulationLimitExceeded
+
+
+class CollectorSimulator(EventDrivenSimulator):
+    """Toy dynamics: one collector agent 'collects' the other n-1 agents.
+
+    Each ordered interaction (collector, uncollected agent) collects that
+    agent, so the waiting time between events is geometric with success
+    probability (#uncollected)/(n(n-1)) — a coupon-collector-like process
+    with a known expectation that the tests can check.
+    """
+
+    def __init__(self, n, random_state=None):
+        super().__init__(n, random_state)
+        self.remaining = n - 1
+
+    def event_weights(self):
+        return {"collect": self.remaining}
+
+    def apply_event(self, name):
+        assert name == "collect"
+        self.remaining -= 1
+
+    def is_done(self):
+        return self.remaining == 0
+
+
+class BrokenSimulator(EventDrivenSimulator):
+    """Weights exceeding the number of ordered pairs must be rejected."""
+
+    def event_weights(self):
+        return {"impossible": self.n * self.n * 10}
+
+    def apply_event(self, name):  # pragma: no cover - never reached
+        pass
+
+    def is_done(self):
+        return False
+
+
+class TestEventDrivenSimulator:
+    def test_rejects_tiny_population(self):
+        with pytest.raises(ValueError):
+            CollectorSimulator(1)
+
+    def test_runs_to_completion(self):
+        simulator = CollectorSimulator(20, random_state=0)
+        result = simulator.run(max_interactions=10**9)
+        assert result.converged
+        assert result.events == 19
+        assert result.interactions >= 19
+
+    def test_milestones_recorded_in_order(self):
+        simulator = CollectorSimulator(30, random_state=1)
+        result = simulator.run(
+            max_interactions=10**9,
+            milestones={
+                "half": lambda: simulator.remaining <= 15,
+                "done": lambda: simulator.remaining == 0,
+            },
+        )
+        assert result.milestones["half"] <= result.milestones["done"]
+
+    def test_budget_limits_run(self):
+        simulator = CollectorSimulator(200, random_state=2)
+        result = simulator.run(max_interactions=50)
+        assert not result.converged
+        assert result.interactions >= 50
+
+    def test_dead_configuration_stops(self):
+        class Dead(CollectorSimulator):
+            def event_weights(self):
+                return {}
+
+        simulator = Dead(5, random_state=0)
+        result = simulator.run(max_interactions=1000)
+        assert not result.converged
+        assert result.events == 0
+
+    def test_inconsistent_weights_raise(self):
+        with pytest.raises(SimulationLimitExceeded):
+            BrokenSimulator(4, random_state=0).step_event()
+
+    def test_total_time_matches_coupon_collector_expectation(self):
+        """Average completion time should match sum_k n(n-1)/k within 10%."""
+        n = 12
+        expectation = sum(n * (n - 1) / k for k in range(1, n))
+        times = []
+        for seed in range(400):
+            simulator = CollectorSimulator(n, random_state=seed)
+            times.append(simulator.run(max_interactions=10**9).interactions)
+        assert np.mean(times) == pytest.approx(expectation, rel=0.1)

@@ -1,0 +1,31 @@
+"""Unit tests for the exception hierarchy."""
+
+import pytest
+
+from repro.core.errors import (
+    AnalysisError,
+    ConfigurationError,
+    ExperimentError,
+    ProtocolError,
+    ReproError,
+    SimulationLimitExceeded,
+)
+
+
+@pytest.mark.parametrize(
+    "exception_type",
+    [ConfigurationError, ProtocolError, SimulationLimitExceeded, AnalysisError, ExperimentError],
+)
+def test_all_errors_derive_from_repro_error(exception_type):
+    assert issubclass(exception_type, ReproError)
+
+
+def test_simulation_limit_carries_result():
+    error = SimulationLimitExceeded("budget exhausted", result={"interactions": 10})
+    assert error.result == {"interactions": 10}
+    assert "budget" in str(error)
+
+
+def test_catching_base_class_catches_all():
+    with pytest.raises(ReproError):
+        raise ProtocolError("bad n")

@@ -1,0 +1,33 @@
+"""Unit tests for the trace log."""
+
+import pytest
+
+from repro.core.events import TraceEvent, TraceLog
+
+
+class TestTraceLog:
+    def test_rejects_bad_capacity(self):
+        with pytest.raises(ValueError):
+            TraceLog(capacity=0)
+
+    def test_record_and_filter(self):
+        log = TraceLog()
+        log.record(1, "rank_assigned", 0, 1, detail=5)
+        log.record(2, "reset", 2, 3)
+        assert len(log) == 2
+        assert [event.kind for event in log] == ["rank_assigned", "reset"]
+        assert log.events("reset")[0].initiator == 2
+        assert log.events()[0].detail == 5
+
+    def test_bounded_capacity_drops_oldest(self):
+        log = TraceLog(capacity=3)
+        for step in range(5):
+            log.append(TraceEvent(step, "e", 0, 1))
+        assert len(log) == 3
+        assert log.dropped == 2
+        assert [event.interaction for event in log] == [2, 3, 4]
+
+    def test_events_are_frozen(self):
+        event = TraceEvent(0, "x", 1, 2)
+        with pytest.raises(AttributeError):
+            event.kind = "y"

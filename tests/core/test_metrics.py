@@ -1,0 +1,54 @@
+"""Unit tests for metric collection."""
+
+import pytest
+
+from repro.core.configuration import Configuration
+from repro.core.metrics import MetricsCollector, TimeSeries, standard_ranking_probes
+from repro.core.state import AgentState
+
+
+def simple_config(ranked, phases=()):
+    states = [AgentState(rank=r) for r in range(1, ranked + 1)]
+    states += [AgentState(phase=p) for p in phases]
+    return Configuration(states)
+
+
+class TestTimeSeries:
+    def test_append_and_last(self):
+        series = TimeSeries("x")
+        assert series.last() is None
+        series.append(0, 1.0)
+        series.append(10, 2.5)
+        assert len(series) == 2
+        assert series.last() == 2.5
+        assert series.as_rows() == [(0, 1.0), (10, 2.5)]
+
+
+class TestMetricsCollector:
+    def test_rejects_bad_interval(self):
+        with pytest.raises(ValueError):
+            MetricsCollector({}, interval=0)
+
+    def test_records_on_schedule(self):
+        collector = MetricsCollector({"ranked": lambda c: c.ranked_count()}, interval=10)
+        config = simple_config(3)
+        assert collector.maybe_record(0, config)
+        assert not collector.maybe_record(5, config)
+        assert collector.maybe_record(10, config)
+        assert collector.get("ranked").interactions == [0, 10]
+
+    def test_force_record_resets_schedule(self):
+        collector = MetricsCollector({"ranked": lambda c: c.ranked_count()}, interval=10)
+        config = simple_config(2)
+        collector.record(3, config)
+        assert not collector.maybe_record(8, config)
+        assert collector.maybe_record(13, config)
+
+    def test_standard_probes(self):
+        probes = standard_ranking_probes()
+        config = simple_config(2, phases=(3, 5))
+        assert probes["ranked_agents"](config) == 2.0
+        assert probes["average_phase"](config) == pytest.approx(4.0)
+        assert probes["duplicate_ranks"](config) == 0.0
+        config[0].rank = 2
+        assert probes["duplicate_ranks"](config) == 1.0

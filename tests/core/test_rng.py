@@ -1,0 +1,79 @@
+"""Unit tests for the RNG helpers."""
+
+import numpy as np
+import pytest
+
+from repro.core.rng import choice_weighted, geometric, make_rng, spawn_rngs, spawn_seeds
+
+
+class TestMakeRng:
+    def test_from_int_is_deterministic(self):
+        assert make_rng(5).integers(0, 1000) == make_rng(5).integers(0, 1000)
+
+    def test_from_generator_is_identity(self):
+        generator = np.random.default_rng(0)
+        assert make_rng(generator) is generator
+
+    def test_from_seed_sequence(self):
+        sequence = np.random.SeedSequence(3)
+        assert isinstance(make_rng(sequence), np.random.Generator)
+
+    def test_from_none(self):
+        assert isinstance(make_rng(None), np.random.Generator)
+
+    def test_rejects_strings(self):
+        with pytest.raises(TypeError):
+            make_rng("seed")
+
+
+class TestSpawning:
+    def test_spawn_seeds_count(self):
+        assert len(spawn_seeds(0, 7)) == 7
+
+    def test_spawn_seeds_rejects_negative(self):
+        with pytest.raises(ValueError):
+            spawn_seeds(0, -1)
+
+    def test_spawned_streams_are_deterministic_and_distinct(self):
+        first = [np.random.default_rng(s).integers(0, 10**9) for s in spawn_seeds(1, 4)]
+        second = [np.random.default_rng(s).integers(0, 10**9) for s in spawn_seeds(1, 4)]
+        assert first == second
+        assert len(set(first)) == 4
+
+    def test_spawn_rngs(self):
+        rngs = spawn_rngs(2, 3)
+        assert len(rngs) == 3
+        assert all(isinstance(r, np.random.Generator) for r in rngs)
+
+
+class TestGeometric:
+    def test_probability_one_returns_one(self):
+        assert geometric(make_rng(0), 1.0) == 1
+
+    def test_rejects_out_of_range(self):
+        with pytest.raises(ValueError):
+            geometric(make_rng(0), 0.0)
+        with pytest.raises(ValueError):
+            geometric(make_rng(0), 1.5)
+
+    def test_mean_matches_expectation(self):
+        rng = make_rng(11)
+        p = 0.2
+        samples = [geometric(rng, p) for _ in range(20_000)]
+        assert np.mean(samples) == pytest.approx(1 / p, rel=0.05)
+
+
+class TestChoiceWeighted:
+    def test_respects_weights(self):
+        rng = make_rng(4)
+        picks = [choice_weighted(rng, ["a", "b"], [9.0, 1.0]) for _ in range(5000)]
+        fraction_a = picks.count("a") / len(picks)
+        assert fraction_a == pytest.approx(0.9, abs=0.03)
+
+    def test_rejects_mismatched_lengths(self):
+        with pytest.raises(ValueError):
+            choice_weighted(make_rng(0), ["a"], [1.0, 2.0])
+
+    def test_rejects_zero_total_weight(self):
+        with pytest.raises(ValueError):
+            choice_weighted(make_rng(0), ["a", "b"], [0.0, 0.0])

@@ -1,0 +1,75 @@
+"""Unit tests for the uniform random pair scheduler."""
+
+import numpy as np
+import pytest
+
+from repro.core.errors import ProtocolError
+from repro.core.scheduler import UniformPairScheduler
+
+
+class TestSchedulerBasics:
+    def test_rejects_tiny_population(self):
+        with pytest.raises(ProtocolError):
+            UniformPairScheduler(1)
+
+    def test_rejects_bad_chunk_size(self):
+        with pytest.raises(ValueError):
+            UniformPairScheduler(4, chunk_size=0)
+
+    def test_total_ordered_pairs(self):
+        assert UniformPairScheduler(7).total_ordered_pairs == 42
+
+    def test_sample_returns_distinct_ordered_pair(self):
+        scheduler = UniformPairScheduler(5, random_state=0)
+        for _ in range(500):
+            initiator, responder = scheduler.sample()
+            assert 0 <= initiator < 5
+            assert 0 <= responder < 5
+            assert initiator != responder
+
+    def test_sample_chunk_shape_and_distinctness(self):
+        scheduler = UniformPairScheduler(6, random_state=1)
+        chunk = scheduler.sample_chunk(1000)
+        assert chunk.shape == (1000, 2)
+        assert np.all(chunk[:, 0] != chunk[:, 1])
+        assert chunk.min() >= 0 and chunk.max() < 6
+
+    def test_sample_chunk_rejects_negative(self):
+        with pytest.raises(ValueError):
+            UniformPairScheduler(4).sample_chunk(-1)
+
+    def test_pairs_iterator(self):
+        scheduler = UniformPairScheduler(4, random_state=2)
+        pairs = scheduler.pairs()
+        seen = [next(pairs) for _ in range(10)]
+        assert len(seen) == 10
+
+    def test_reproducibility_with_same_seed(self):
+        first = UniformPairScheduler(8, random_state=42)
+        second = UniformPairScheduler(8, random_state=42)
+        assert [first.sample() for _ in range(50)] == [second.sample() for _ in range(50)]
+
+
+class TestSchedulerUniformity:
+    def test_marginals_are_roughly_uniform(self):
+        """Each ordered pair should appear with probability ~1/(n(n-1))."""
+        n = 4
+        scheduler = UniformPairScheduler(n, random_state=7)
+        counts = np.zeros((n, n))
+        samples = 24_000
+        for _ in range(samples):
+            i, j = scheduler.sample()
+            counts[i, j] += 1
+        expected = samples / (n * (n - 1))
+        off_diagonal = counts[~np.eye(n, dtype=bool)]
+        assert np.all(counts.diagonal() == 0)
+        # Allow 15% relative deviation — generous for 24k samples over 12 cells.
+        assert np.all(np.abs(off_diagonal - expected) < 0.15 * expected)
+
+    def test_chunked_and_single_sampling_agree_statistically(self):
+        n = 5
+        scheduler = UniformPairScheduler(n, random_state=3)
+        chunk = scheduler.sample_chunk(30_000)
+        initiator_counts = np.bincount(chunk[:, 0], minlength=n)
+        expected = len(chunk) / n
+        assert np.all(np.abs(initiator_counts - expected) < 0.1 * expected)

@@ -1,0 +1,109 @@
+"""Unit tests for :mod:`repro.core.state`."""
+
+import pytest
+
+from repro.core.state import AgentState, Role, classify_role
+
+
+class TestAgentStateBasics:
+    def test_default_state_is_blank(self):
+        state = AgentState()
+        assert classify_role(state) is Role.BLANK
+        assert state.main_variables() == {}
+
+    def test_copy_is_independent(self):
+        state = AgentState(rank=3, coin=1)
+        clone = state.copy()
+        clone.rank = 7
+        assert state.rank == 3
+        assert clone.coin == 1
+
+    def test_as_tuple_roundtrip_equality(self):
+        first = AgentState(rank=2, coin=0)
+        second = AgentState(rank=2, coin=0)
+        assert first.as_tuple() == second.as_tuple()
+        second.coin = 1
+        assert first.as_tuple() != second.as_tuple()
+
+    def test_main_variables_reports_each_kind(self):
+        assert AgentState(rank=5).main_variables() == {"rank": 5}
+        assert AgentState(phase=2).main_variables() == {"phase": 2}
+        assert AgentState(wait_count=7).main_variables() == {"wait_count": 7}
+        assert AgentState(leader_done=0).main_variables() == {"leader_election": 0}
+
+
+class TestPredicates:
+    def test_is_ranked_and_phase_and_waiting(self):
+        assert AgentState(rank=1).is_ranked
+        assert AgentState(phase=1).is_phase_agent
+        assert AgentState(wait_count=4).is_waiting
+        assert not AgentState().is_ranked
+
+    def test_in_leader_election_tracks_leader_done(self):
+        assert AgentState(leader_done=0).in_leader_election
+        assert AgentState(leader_done=1).in_leader_election
+        assert not AgentState().in_leader_election
+
+    def test_reset_predicates(self):
+        propagating = AgentState(reset_count=3, delay_count=5)
+        dormant = AgentState(reset_count=0, delay_count=5)
+        computing = AgentState(rank=1)
+        assert propagating.is_propagating and not propagating.is_dormant
+        assert dormant.is_dormant and not dormant.is_propagating
+        assert not computing.in_reset
+        assert propagating.in_reset and dormant.in_reset
+
+
+class TestMutationHelpers:
+    def test_clear_drops_everything(self):
+        state = AgentState(rank=4, coin=1, alive_count=9, leader_done=1)
+        state.clear()
+        assert state.as_tuple() == AgentState().as_tuple()
+
+    def test_clear_can_keep_coin(self):
+        state = AgentState(rank=4, coin=1)
+        state.clear(keep_coin=True)
+        assert state.coin == 1
+        assert state.rank is None
+
+    def test_clear_leader_election_preserves_other_fields(self):
+        state = AgentState(rank=2, is_leader=1, leader_done=1, le_count=5, coin_count=3)
+        state.clear_leader_election()
+        assert state.rank == 2
+        assert state.is_leader is None
+        assert state.leader_done is None
+        assert state.le_count is None
+        assert state.coin_count is None
+
+    def test_toggle_coin(self):
+        state = AgentState(coin=0)
+        state.toggle_coin()
+        assert state.coin == 1
+        state.toggle_coin()
+        assert state.coin == 0
+
+    def test_toggle_coin_without_coin_is_noop(self):
+        state = AgentState()
+        state.toggle_coin()
+        assert state.coin is None
+
+
+class TestClassifyRole:
+    @pytest.mark.parametrize(
+        "state, role",
+        [
+            (AgentState(reset_count=2, delay_count=3), Role.PROPAGATING),
+            (AgentState(reset_count=0, delay_count=3), Role.DORMANT),
+            (AgentState(leader_done=0, is_leader=1), Role.LEADER_ELECTING),
+            (AgentState(wait_count=5), Role.WAITING),
+            (AgentState(phase=3), Role.PHASE),
+            (AgentState(rank=9), Role.RANKED),
+            (AgentState(coin=1), Role.BLANK),
+        ],
+    )
+    def test_roles(self, state, role):
+        assert classify_role(state) is role
+
+    def test_reset_takes_precedence_over_rank(self):
+        state = AgentState(rank=3, reset_count=1, delay_count=2)
+        assert classify_role(state) is Role.PROPAGATING

@@ -1,0 +1,140 @@
+"""Tests for the experiment drivers (small parameterizations).
+
+The benchmarks run the paper-scale versions; these tests only check that each
+driver produces structurally correct, plausible output quickly.
+"""
+
+import pytest
+
+from repro.core.errors import ExperimentError
+from repro.experiments.comparison import format_comparison, run_comparison
+from repro.experiments.fault_injection import (
+    format_fault_injection,
+    run_fault_injection,
+)
+from repro.experiments.figure2 import format_figure2, run_figure2
+from repro.experiments.figure3 import format_figure3, run_figure3
+from repro.experiments.scaling import format_scaling, run_scaling
+
+
+class TestFigure2Driver:
+    def test_series_structure_and_recovery(self):
+        result = run_figure2(n=64, random_state=0, samples=80)
+        assert result.n == 64
+        assert len(result.interactions) == len(result.ranked_agents)
+        assert len(result.interactions) == len(result.average_phase)
+        # Starts with n - 1 ranked agents and ends with all ranked.
+        assert result.ranked_agents[0] == 63
+        assert result.converged
+        assert result.ranked_agents[-1] == 64
+        # At least one reset happened (the whole point of the workload).
+        assert result.resets >= 1
+        assert min(result.ranked_agents) < 63
+        rows = result.rows()
+        assert rows[0]["interactions_over_n2"] == 0.0
+
+    def test_formatting_contains_key_facts(self):
+        result = run_figure2(n=32, random_state=1, samples=40)
+        text = format_figure2(result)
+        assert "Figure 2" in text
+        assert "ranked agents" in text
+        assert "average phase" in text
+
+
+class TestFigure3Driver:
+    def test_aggregate_engine_sweep(self):
+        result = run_figure3(n_values=(64, 128), repetitions=4, engine="aggregate")
+        assert set(result.samples) == {64, 128}
+        for n in (64, 128):
+            for fraction in result.fractions:
+                assert len(result.samples[n][fraction]) == 4
+        # Later fractions take longer.
+        assert result.mean(128, 0.5) < result.mean(128, 0.9375)
+        # Normalized times are O(1) (flat in n): same order of magnitude.
+        assert result.mean(128, 0.5) < 4 * result.mean(64, 0.5) + 1
+        text = format_figure3(result)
+        assert "Figure 3" in text and "frac 0.5" in text
+
+    def test_reference_engine_agrees_roughly_with_aggregate(self):
+        aggregate = run_figure3(
+            n_values=(48,), fractions=(0.5,), repetitions=6, engine="aggregate"
+        )
+        reference = run_figure3(
+            n_values=(48,), fractions=(0.5,), repetitions=6, engine="reference"
+        )
+        assert aggregate.mean(48, 0.5) == pytest.approx(reference.mean(48, 0.5), rel=0.6)
+
+    def test_validation(self):
+        with pytest.raises(ExperimentError):
+            run_figure3(engine="magic")
+        with pytest.raises(ExperimentError):
+            run_figure3(repetitions=0)
+
+
+class TestScalingDriver:
+    def test_normalized_times_are_flat(self):
+        result = run_scaling(n_values=(64, 256), repetitions=4, engine="aggregate")
+        rows = result.rows()
+        assert len(rows) == 2
+        values = [row["mean_over_n2_logn"] for row in rows]
+        assert max(values) / min(values) < 2.5
+        assert "constant" in format_scaling(result)
+
+    def test_validation(self):
+        with pytest.raises(ExperimentError):
+            run_scaling(engine="magic")
+
+
+class TestComparisonDriver:
+    def test_fresh_comparison_structure(self):
+        result = run_comparison(
+            n_values=(16,),
+            repetitions=2,
+            protocols=("cai-ranking", "stable-ranking"),
+            max_interactions_factor=600,
+        )
+        rows = result.rows()
+        assert {row["protocol"] for row in rows} == {"cai-ranking", "stable-ranking"}
+        assert all(row["converged_fraction"] == 1.0 for row in rows)
+        cai = next(row for row in rows if row["protocol"] == "cai-ranking")
+        stable = next(row for row in rows if row["protocol"] == "stable-ranking")
+        assert cai["overhead_states"] == 0
+        assert stable["overhead_states"] > 0
+        assert "Baseline comparison" in format_comparison(result)
+
+    def test_corrupted_workload(self):
+        result = run_comparison(
+            n_values=(16,),
+            repetitions=2,
+            workload="corrupted",
+            protocols=("stable-ranking",),
+            max_interactions_factor=1500,
+        )
+        assert result.rows()[0]["converged_fraction"] == 1.0
+
+    def test_validation(self):
+        with pytest.raises(ExperimentError):
+            run_comparison(workload="nope")
+        with pytest.raises(ExperimentError):
+            run_comparison(protocols=("unknown-protocol",))
+
+
+class TestFaultInjectionDriver:
+    def test_all_faults_recover(self):
+        result = run_fault_injection(
+            n_values=(16,), repetitions=2, max_interactions_factor=2000
+        )
+        rows = result.rows()
+        assert {row["fault"] for row in rows} == {
+            "duplicate_rank",
+            "missing_rank",
+            "adversarial",
+        }
+        assert all(row["recovered_fraction"] == 1.0 for row in rows)
+        assert "Fault-injection" in format_fault_injection(result)
+
+    def test_validation(self):
+        with pytest.raises(ExperimentError):
+            run_fault_injection(faults=("meteor_strike",))
+        with pytest.raises(ExperimentError):
+            run_fault_injection(repetitions=0)

@@ -1,0 +1,89 @@
+"""Tests for the initial-configuration generators."""
+
+import pytest
+
+from repro.core.errors import ConfigurationError
+from repro.core.state import classify_role, Role
+from repro.experiments.workloads import (
+    adversarial_configuration,
+    duplicate_rank_configuration,
+    figure2_initial_configuration,
+    figure3_initial_configuration,
+    fresh_configuration,
+    missing_rank_configuration,
+    valid_ranking_configuration,
+)
+from repro.protocols.ranking.space_efficient import SpaceEfficientRanking
+from repro.protocols.ranking.stable_ranking import StableRanking
+
+
+class TestSimpleWorkloads:
+    def test_fresh_configuration_matches_protocol(self):
+        protocol = StableRanking(12)
+        config = fresh_configuration(protocol)
+        assert config.population_size == 12
+        assert all(state.in_leader_election for state in config.states)
+
+    def test_valid_ranking_configuration(self):
+        config = valid_ranking_configuration(9)
+        assert config.is_valid_ranking()
+        with pytest.raises(ConfigurationError):
+            valid_ranking_configuration(0)
+
+    def test_duplicate_rank_configuration(self):
+        config = duplicate_rank_configuration(20, duplicates=3, random_state=0)
+        assert not config.is_valid_ranking()
+        assert 1 <= len(config.duplicate_ranks()) <= 3
+        with pytest.raises(ConfigurationError):
+            duplicate_rank_configuration(5, duplicates=5)
+
+    def test_missing_rank_configuration(self):
+        protocol = StableRanking(10)
+        config = missing_rank_configuration(protocol, missing_rank=4)
+        assert config.ranked_count() == 9
+        assert 4 not in config.assigned_ranks()
+        with pytest.raises(ConfigurationError):
+            missing_rank_configuration(protocol, missing_rank=11)
+
+
+class TestFigureWorkloads:
+    def test_figure2_configuration_structure(self):
+        protocol = StableRanking(16)
+        config = figure2_initial_configuration(protocol)
+        assert config.population_size == 16
+        assert sorted(config.assigned_ranks()) == list(range(2, 17))
+        phase_agents = config.agents_with_role(Role.PHASE)
+        assert len(phase_agents) == 1
+        lone = config[phase_agents[0]]
+        assert lone.phase == protocol.schedule.phase_count
+        assert lone.alive_count == protocol.l_max
+
+    def test_figure3_configuration_structure(self):
+        protocol = SpaceEfficientRanking(16)
+        config = figure3_initial_configuration(protocol)
+        assert config.ranked_count() == 1
+        assert config[0].rank == 1
+        assert all(state.in_leader_election for state in config.states[1:])
+
+
+class TestAdversarialWorkload:
+    def test_states_stay_within_protocol_bounds(self):
+        protocol = StableRanking(24)
+        config = adversarial_configuration(protocol, random_state=1)
+        assert config.population_size == 24
+        for state in config.states:
+            if state.rank is not None and not state.in_reset:
+                assert 1 <= state.rank <= 24
+            if state.phase is not None:
+                assert 1 <= state.phase <= protocol.schedule.phase_count
+            if state.alive_count is not None:
+                assert 1 <= state.alive_count <= protocol.l_max
+
+    def test_is_random_but_reproducible(self):
+        protocol = StableRanking(24)
+        first = adversarial_configuration(protocol, random_state=5)
+        second = adversarial_configuration(protocol, random_state=5)
+        third = adversarial_configuration(protocol, random_state=6)
+        as_tuples = lambda config: [state.as_tuple() for state in config.states]
+        assert as_tuples(first) == as_tuples(second)
+        assert as_tuples(first) != as_tuples(third)

@@ -1,0 +1,134 @@
+"""End-to-end integration tests across modules.
+
+These tests exercise the full stack — workload generators, protocols,
+simulator, metrics, analysis — the way the examples and benchmarks do, on
+population sizes small enough for CI.
+"""
+
+import math
+
+import pytest
+
+from repro import (
+    SpaceEfficientRanking,
+    StableRanking,
+    Simulator,
+    MetricsCollector,
+    standard_ranking_probes,
+)
+from repro.analysis import (
+    normalized_stabilization_time,
+    summarize,
+    theorem1_interaction_bound,
+)
+from repro.baselines import CaiRanking
+from repro.core.rng import spawn_rngs
+from repro.experiments import (
+    duplicate_rank_configuration,
+    figure2_initial_configuration,
+    figure3_initial_configuration,
+)
+from repro.protocols.ranking import AggregateSpaceEfficientRanking
+
+
+class TestTheorem1EndToEnd:
+    """SpaceEfficientRanking: valid ranking in O(n² log n), n + Θ(log n) states."""
+
+    def test_repeated_runs_all_converge_within_theorem_bound(self):
+        n = 48
+        budget = int(theorem1_interaction_bound(n, constant=40.0))
+        times = []
+        for rng in spawn_rngs(0, 5):
+            simulator = Simulator(SpaceEfficientRanking(n), random_state=rng)
+            result = simulator.run(max_interactions=budget)
+            assert result.converged
+            times.append(result.interactions)
+        normalized = [normalized_stabilization_time(t, n) for t in times]
+        assert summarize(normalized).mean < 20
+
+    def test_leader_election_output_follows_from_ranking(self):
+        n = 32
+        protocol = SpaceEfficientRanking(n)
+        simulator = Simulator(protocol, random_state=1)
+        result = simulator.run(max_interactions=400 * n * n)
+        assert result.converged
+        leaders = [
+            index
+            for index, state in enumerate(result.configuration.states)
+            if protocol.leader_output(state)
+        ]
+        assert len(leaders) == 1
+        assert result.configuration[leaders[0]].rank == 1
+
+
+class TestTheorem2EndToEnd:
+    """StableRanking: stabilization from arbitrary configurations."""
+
+    def test_metrics_capture_reset_and_recovery(self):
+        n = 48
+        protocol = StableRanking(n, l_max=4 * int(math.log2(n)))
+        configuration = figure2_initial_configuration(protocol)
+        metrics = MetricsCollector(standard_ranking_probes(), interval=n * n // 2)
+        simulator = Simulator(
+            protocol, configuration=configuration, random_state=2, metrics=metrics
+        )
+        result = simulator.run(max_interactions=3000 * n * n)
+        assert result.converged
+        ranked = metrics.get("ranked_agents").values
+        # The series starts at n-1, dips after the reset and ends at n.
+        assert ranked[0] == n - 1
+        assert min(ranked) < n - 1
+        assert ranked[-1] == n
+
+    def test_recovery_from_duplicate_ranks_is_fast(self):
+        n = 32
+        protocol = StableRanking(n)
+        configuration = duplicate_rank_configuration(n, duplicates=4, random_state=3)
+        simulator = Simulator(protocol, configuration=configuration, random_state=4)
+        result = simulator.run(max_interactions=4000 * n * n)
+        assert result.converged
+        assert result.resets >= 1
+
+
+class TestEngineAgreement:
+    def test_reference_and_aggregate_reach_the_same_final_state_shape(self):
+        n = 64
+        protocol = SpaceEfficientRanking(n)
+        configuration = figure3_initial_configuration(protocol)
+        simulator = Simulator(protocol, configuration=configuration, random_state=5)
+        reference = simulator.run(max_interactions=500 * n * n)
+        assert reference.converged
+
+        engine = AggregateSpaceEfficientRanking(n, random_state=6)
+        aggregate = engine.run(max_interactions=10**12)
+        assert aggregate.converged
+        # Same asymptotic regime: both within a factor ~3 of each other.
+        ratio = reference.interactions / aggregate.interactions
+        assert 1 / 3 < ratio < 3
+
+
+class TestBaselineComparisonEndToEnd:
+    def test_cai_grows_cubically_while_stable_stays_near_quadratic(self):
+        """Normalized (by n²) time of the Cai baseline roughly doubles when n
+        doubles, while StableRanking's grows only logarithmically — the
+        state/time trade-off the paper's comparison is about."""
+
+        def mean_normalized(protocol_factory, n, seeds):
+            times = []
+            for seed in seeds:
+                result = Simulator(protocol_factory(n), random_state=seed).run(
+                    max_interactions=4000 * n * n
+                )
+                assert result.converged
+                times.append(result.interactions / (n * n))
+            return summarize(times).mean
+
+        cai_small = mean_normalized(CaiRanking, 24, range(3))
+        cai_large = mean_normalized(CaiRanking, 48, range(3))
+        stable_small = mean_normalized(StableRanking, 24, range(3))
+        stable_large = mean_normalized(StableRanking, 48, range(3))
+
+        cai_growth = cai_large / cai_small
+        stable_growth = stable_large / stable_small
+        assert cai_growth > 1.5  # ~linear growth of the normalized time
+        assert stable_growth < cai_growth

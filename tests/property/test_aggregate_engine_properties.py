@@ -1,0 +1,85 @@
+"""Property-based tests for the event-driven SpaceEfficientRanking engine.
+
+The engine's correctness rests on two bookkeeping invariants that must hold
+after *every* event, whatever random trajectory is taken: the population is
+conserved across the tracked groups, and the event weights always describe a
+valid probability decomposition over ordered pairs.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.protocols.ranking.aggregate_space_efficient import (
+    AggregateSpaceEfficientRanking,
+)
+
+
+def population_accounted_for(engine: AggregateSpaceEfficientRanking) -> int:
+    """Number of agents the aggregate state accounts for."""
+    phase_agents = sum(engine.phase_counts.values())
+    leader = 1  # the leader exists in either mode ("rank" or "wait")
+    ranked_others = engine.ranked_count() - (1 if engine.leader_mode == "rank" else 0)
+    return engine.unconverted + phase_agents + ranked_others + leader
+
+
+@given(
+    n=st.integers(min_value=4, max_value=256),
+    seed=st.integers(min_value=0, max_value=2**31 - 1),
+    steps=st.integers(min_value=1, max_value=400),
+)
+@settings(max_examples=60, deadline=None)
+def test_population_is_conserved_along_any_trajectory(n, seed, steps):
+    engine = AggregateSpaceEfficientRanking(n, random_state=seed)
+    assert population_accounted_for(engine) == n
+    for _ in range(steps):
+        if engine.is_done() or engine.step_event() is None:
+            break
+        assert population_accounted_for(engine) == n
+        assert engine.unconverted >= 0
+        assert all(count > 0 for count in engine.phase_counts.values())
+
+
+@given(
+    n=st.integers(min_value=4, max_value=256),
+    seed=st.integers(min_value=0, max_value=2**31 - 1),
+    steps=st.integers(min_value=0, max_value=300),
+)
+@settings(max_examples=60, deadline=None)
+def test_event_weights_remain_a_valid_decomposition(n, seed, steps):
+    engine = AggregateSpaceEfficientRanking(n, random_state=seed)
+    for _ in range(steps):
+        weights = engine.event_weights()
+        assert all(weight >= 0 for weight in weights.values())
+        assert sum(weights.values()) <= engine.total_ordered_pairs
+        if engine.is_done() or engine.step_event() is None:
+            break
+
+
+@given(
+    n=st.integers(min_value=4, max_value=128),
+    seed=st.integers(min_value=0, max_value=2**31 - 1),
+)
+@settings(max_examples=30, deadline=None)
+def test_completed_runs_assign_every_rank_exactly_once(n, seed):
+    engine = AggregateSpaceEfficientRanking(n, random_state=seed)
+    result = engine.run(max_interactions=10**12)
+    assert result.converged
+    assert engine.ranked_count() == n
+    # The leader keeps rank 1; the other agents received 2 … n exactly once.
+    assert engine.ranked_fraction() == 1.0
+
+
+@given(
+    n=st.integers(min_value=4, max_value=128),
+    seed=st.integers(min_value=0, max_value=2**31 - 1),
+)
+@settings(max_examples=30, deadline=None)
+def test_interactions_never_decrease_and_exceed_events(n, seed):
+    engine = AggregateSpaceEfficientRanking(n, random_state=seed)
+    previous = 0
+    for _ in range(200):
+        if engine.is_done() or engine.step_event() is None:
+            break
+        assert engine.interactions > previous
+        previous = engine.interactions
+        assert engine.interactions >= engine.events

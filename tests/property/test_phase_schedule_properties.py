@@ -1,0 +1,70 @@
+"""Property-based tests for the phase schedule."""
+
+import math
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.protocols.ranking.phases import PhaseSchedule, wait_count_init
+
+population_sizes = st.integers(min_value=2, max_value=5000)
+
+
+@given(n=population_sizes)
+@settings(max_examples=100, deadline=None)
+def test_f_sequence_is_decreasing_and_ends_at_one(n):
+    schedule = PhaseSchedule(n)
+    values = [schedule.f(k) for k in range(1, schedule.phase_count + 2)]
+    assert values[0] == n
+    assert values[-1] == 1
+    assert all(values[i] > values[i + 1] for i in range(len(values) - 1))
+
+
+@given(n=population_sizes)
+@settings(max_examples=100, deadline=None)
+def test_halving_property(n):
+    """Each f_{k+1} is exactly ⌈f_k / 2⌉."""
+    schedule = PhaseSchedule(n)
+    for k in range(1, schedule.phase_count + 1):
+        assert schedule.f(k + 1) == math.ceil(schedule.f(k) / 2)
+
+
+@given(n=population_sizes)
+@settings(max_examples=100, deadline=None)
+def test_phases_partition_ranks_two_to_n(n):
+    schedule = PhaseSchedule(n)
+    assigned = []
+    for k in range(1, schedule.phase_count + 1):
+        assigned.extend(schedule.ranks_in_phase(k))
+    assert sorted(assigned) == list(range(2, n + 1))
+
+
+@given(n=population_sizes)
+@settings(max_examples=100, deadline=None)
+def test_phase_count_is_ceil_log2(n):
+    assert PhaseSchedule(n).phase_count == max(1, math.ceil(math.log2(n)))
+
+
+@given(n=population_sizes, rank=st.integers(min_value=2, max_value=5000))
+@settings(max_examples=100, deadline=None)
+def test_phase_of_rank_is_consistent_with_ranges(n, rank):
+    if rank > n:
+        rank = 2 + (rank % (n - 1)) if n > 2 else 2
+    schedule = PhaseSchedule(n)
+    phase = schedule.phase_of_rank(rank)
+    assert rank in schedule.ranks_in_phase(phase)
+
+
+@given(n=population_sizes, c_wait=st.floats(min_value=0.5, max_value=8.0))
+@settings(max_examples=60, deadline=None)
+def test_wait_count_matches_formula(n, c_wait):
+    assert wait_count_init(n, c_wait) == max(1, math.ceil(c_wait * math.log2(n)))
+
+
+@given(n=population_sizes, phase=st.integers(min_value=1, max_value=20))
+@settings(max_examples=100, deadline=None)
+def test_unranked_leader_threshold_matches_floor_formula(n, phase):
+    schedule = PhaseSchedule(n)
+    assert schedule.unranked_leader_threshold(phase) == n // (2**phase) or (
+        schedule.unranked_leader_threshold(phase) == math.floor(n * 2.0**-phase)
+    )

@@ -1,0 +1,164 @@
+"""Property-based tests on protocol transition invariants.
+
+These tests throw randomly generated (but state-space-respecting) agent
+pairs at the transition functions and check invariants that must hold for
+*every* interaction, not just those reachable from a fresh start — exactly
+the situation the self-stabilizing protocol must cope with.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.rng import make_rng
+from repro.core.state import AgentState
+from repro.protocols.ranking.phases import PhaseSchedule
+from repro.protocols.ranking.rules import RankingRules
+from repro.protocols.ranking.stable_ranking import StableRanking
+from repro.protocols.reset.propagate_reset import PropagateReset
+
+N = 32
+SCHEDULE = PhaseSchedule(N)
+STABLE = StableRanking(N)
+
+
+def main_agent_states():
+    """States from StableRanking's main state space plus LE and reset states."""
+    coin = st.integers(min_value=0, max_value=1)
+    ranked = st.builds(AgentState, rank=st.integers(min_value=1, max_value=N))
+    phase_agent = st.builds(
+        AgentState,
+        phase=st.integers(min_value=1, max_value=SCHEDULE.phase_count),
+        coin=coin,
+        alive_count=st.integers(min_value=1, max_value=STABLE.l_max),
+    )
+    waiting = st.builds(
+        AgentState,
+        wait_count=st.integers(min_value=1, max_value=STABLE.wait_init),
+        coin=coin,
+        alive_count=st.integers(min_value=1, max_value=STABLE.l_max),
+    )
+    electing = st.builds(
+        AgentState,
+        coin=coin,
+        le_count=st.integers(min_value=1, max_value=STABLE.l_max),
+        coin_count=st.integers(min_value=0, max_value=5),
+        leader_done=st.integers(min_value=0, max_value=1),
+        is_leader=st.integers(min_value=0, max_value=1),
+    )
+    resetting = st.builds(
+        AgentState,
+        coin=coin,
+        reset_count=st.integers(min_value=0, max_value=STABLE.reset.r_max),
+        delay_count=st.integers(min_value=1, max_value=STABLE.reset.d_max),
+    )
+    return st.one_of(ranked, phase_agent, waiting, electing, resetting)
+
+
+def _in_state_space(state: AgentState) -> bool:
+    """Whether a state lies in StableRanking's state space (loose check)."""
+    if state.rank is not None and not state.in_reset and not state.in_leader_election:
+        return 1 <= state.rank <= N
+    if state.phase is not None:
+        if not 1 <= state.phase <= SCHEDULE.phase_count:
+            return False
+    if state.wait_count is not None:
+        if not 0 <= state.wait_count <= STABLE.wait_init:
+            return False
+    if state.alive_count is not None and not 0 <= state.alive_count <= STABLE.l_max:
+        return False
+    if state.reset_count is not None and not 0 <= state.reset_count <= STABLE.reset.r_max:
+        return False
+    if state.delay_count is not None and not 0 <= state.delay_count <= STABLE.reset.d_max:
+        return False
+    return True
+
+
+class TestRankingRulesInvariants:
+    @given(
+        leader_rank=st.integers(min_value=1, max_value=N),
+        phase=st.integers(min_value=1, max_value=SCHEDULE.phase_count),
+    )
+    @settings(max_examples=200, deadline=None)
+    def test_assigned_ranks_lie_in_the_phase_range(self, leader_rank, phase):
+        rules = RankingRules(SCHEDULE, wait_init=4)
+        leader = AgentState(rank=leader_rank)
+        agent = AgentState(phase=phase)
+        outcome = rules.apply(leader, agent)
+        if outcome.rank_assigned is not None:
+            assert outcome.rank_assigned in SCHEDULE.ranks_in_phase(phase)
+            assert agent.rank == outcome.rank_assigned
+
+    @given(
+        phase_u=st.integers(min_value=1, max_value=SCHEDULE.phase_count),
+        phase_v=st.integers(min_value=1, max_value=SCHEDULE.phase_count),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_phase_epidemic_never_decreases_phases(self, phase_u, phase_v):
+        rules = RankingRules(SCHEDULE, wait_init=4)
+        u, v = AgentState(phase=phase_u), AgentState(phase=phase_v)
+        rules.apply(u, v)
+        assert u.phase >= phase_u
+        assert v.phase >= phase_v
+        assert u.phase == v.phase == max(phase_u, phase_v)
+
+
+class TestStableRankingInvariants:
+    @given(u=main_agent_states(), v=main_agent_states())
+    @settings(max_examples=300, deadline=None)
+    def test_transitions_stay_inside_the_state_space(self, u, v):
+        protocol = StableRanking(N)
+        rng = make_rng(0)
+        protocol.transition(u, v, rng)
+        assert _in_state_space(u)
+        assert _in_state_space(v)
+
+    @given(u=main_agent_states(), v=main_agent_states())
+    @settings(max_examples=300, deadline=None)
+    def test_transition_is_deterministic_given_states(self, u, v):
+        """The transition uses no hidden randomness beyond the rng argument."""
+        protocol_a, protocol_b = StableRanking(N), StableRanking(N)
+        u_a, v_a = u.copy(), v.copy()
+        u_b, v_b = u.copy(), v.copy()
+        protocol_a.transition(u_a, v_a, make_rng(7))
+        protocol_b.transition(u_b, v_b, make_rng(7))
+        assert u_a.as_tuple() == u_b.as_tuple()
+        assert v_a.as_tuple() == v_b.as_tuple()
+
+    @given(u=main_agent_states(), v=main_agent_states())
+    @settings(max_examples=300, deadline=None)
+    def test_duplicate_ranks_always_trigger_a_reset(self, u, v):
+        protocol = StableRanking(N)
+        u.rank = 5
+        u.phase = None
+        u.wait_count = None
+        u.reset_count = None
+        u.delay_count = None
+        u.leader_done = None
+        u.is_leader = None
+        u.le_count = None
+        u.coin = None
+        u.alive_count = None
+        v = u.copy()
+        before = protocol.reset.triggered_count
+        result = protocol.transition(u, v, make_rng(0))
+        assert result.reset_triggered
+        assert protocol.reset.triggered_count == before + 1
+
+
+class TestPropagateResetInvariants:
+    reset_states = st.builds(
+        AgentState,
+        coin=st.integers(min_value=0, max_value=1),
+        reset_count=st.one_of(st.none(), st.integers(min_value=0, max_value=10)),
+        delay_count=st.one_of(st.none(), st.integers(min_value=1, max_value=20)),
+        rank=st.one_of(st.none(), st.integers(min_value=1, max_value=N)),
+    )
+
+    @given(u=reset_states, v=reset_states)
+    @settings(max_examples=300, deadline=None)
+    def test_counters_never_go_negative(self, u, v):
+        reset = PropagateReset(10, 20, restart=lambda agent: None)
+        reset.apply(u, v)
+        for agent in (u, v):
+            assert agent.reset_count is None or agent.reset_count >= 0
+            assert agent.delay_count is None or agent.delay_count >= 0

@@ -1,0 +1,91 @@
+"""Property-based tests for agent states and configurations."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.configuration import Configuration
+from repro.core.state import AgentState, Role, classify_role
+
+optional_small = st.one_of(st.none(), st.integers(min_value=0, max_value=50))
+optional_positive = st.one_of(st.none(), st.integers(min_value=1, max_value=50))
+
+agent_states = st.builds(
+    AgentState,
+    rank=optional_positive,
+    phase=optional_positive,
+    wait_count=optional_positive,
+    coin=st.one_of(st.none(), st.integers(min_value=0, max_value=1)),
+    alive_count=optional_small,
+    reset_count=optional_small,
+    delay_count=optional_small,
+    is_leader=st.one_of(st.none(), st.integers(min_value=0, max_value=1)),
+    leader_done=st.one_of(st.none(), st.integers(min_value=0, max_value=1)),
+    le_count=optional_small,
+    coin_count=optional_small,
+    le_level=optional_small,
+)
+
+
+@given(state=agent_states)
+@settings(max_examples=200, deadline=None)
+def test_copy_preserves_equality_and_independence(state):
+    clone = state.copy()
+    assert clone.as_tuple() == state.as_tuple()
+    clone.rank = (clone.rank or 0) + 1
+    assert clone.as_tuple() != state.as_tuple()
+
+
+@given(state=agent_states)
+@settings(max_examples=200, deadline=None)
+def test_clear_keep_coin_only_preserves_coin(state):
+    coin_before = state.coin
+    state.clear(keep_coin=True)
+    blank = AgentState(coin=coin_before)
+    assert state.as_tuple() == blank.as_tuple()
+
+
+@given(state=agent_states)
+@settings(max_examples=200, deadline=None)
+def test_classification_is_total_and_consistent(state):
+    role = classify_role(state)
+    assert isinstance(role, Role)
+    if role is Role.RANKED:
+        assert state.rank is not None
+        assert not state.is_propagating and not state.is_dormant
+    if role is Role.PROPAGATING:
+        assert state.reset_count is not None and state.reset_count > 0
+    if role is Role.DORMANT:
+        assert state.reset_count == 0 and state.delay_count not in (None, 0)
+
+
+@given(state=agent_states)
+@settings(max_examples=200, deadline=None)
+def test_double_coin_toggle_is_identity(state):
+    before = state.coin
+    state.toggle_coin()
+    state.toggle_coin()
+    assert state.coin == before
+
+
+@given(ranks=st.lists(st.integers(min_value=1, max_value=30), min_size=1, max_size=30))
+@settings(max_examples=200, deadline=None)
+def test_valid_ranking_iff_permutation(ranks):
+    config = Configuration([AgentState(rank=r) for r in ranks])
+    expected = sorted(ranks) == list(range(1, len(ranks) + 1))
+    assert config.is_valid_ranking() == expected
+    assert config.ranked_count() == len(ranks)
+
+
+@given(
+    ranks=st.lists(
+        st.one_of(st.none(), st.integers(min_value=1, max_value=20)),
+        min_size=1,
+        max_size=20,
+    )
+)
+@settings(max_examples=200, deadline=None)
+def test_duplicate_detection_matches_multiset(ranks):
+    config = Configuration([AgentState(rank=r) for r in ranks])
+    assigned = [r for r in ranks if r is not None]
+    expected_duplicates = sorted({r for r in assigned if assigned.count(r) > 1})
+    assert config.duplicate_ranks() == expected_duplicates

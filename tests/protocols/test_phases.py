@@ -1,0 +1,95 @@
+"""Unit tests for the phase schedule ``f_k``."""
+
+import math
+
+import pytest
+
+from repro.core.errors import ProtocolError
+from repro.protocols.ranking.phases import PhaseSchedule, wait_count_init
+
+
+class TestWaitCountInit:
+    def test_matches_formula(self):
+        assert wait_count_init(256, 2.0) == 16
+        assert wait_count_init(100, 2.0) == math.ceil(2 * math.log2(100))
+
+    def test_rejects_bad_arguments(self):
+        with pytest.raises(ProtocolError):
+            wait_count_init(1, 2.0)
+        with pytest.raises(ProtocolError):
+            wait_count_init(16, 0.0)
+
+
+class TestPhaseSchedule:
+    def test_rejects_tiny_population(self):
+        with pytest.raises(ProtocolError):
+            PhaseSchedule(1)
+
+    def test_power_of_two_schedule(self):
+        schedule = PhaseSchedule(8)
+        assert schedule.phase_count == 3
+        assert [schedule.f(k) for k in range(1, 5)] == [8, 4, 2, 1]
+        assert list(schedule.ranks_in_phase(1)) == [5, 6, 7, 8]
+        assert list(schedule.ranks_in_phase(2)) == [3, 4]
+        assert list(schedule.ranks_in_phase(3)) == [2]
+
+    def test_non_power_of_two_schedule(self):
+        schedule = PhaseSchedule(7)
+        assert schedule.phase_count == 3
+        assert [schedule.f(k) for k in range(1, 5)] == [7, 4, 2, 1]
+
+    @pytest.mark.parametrize("n", [2, 3, 5, 6, 17, 100, 255, 256, 1000])
+    def test_phases_partition_ranks_two_to_n(self, n):
+        """Across all phases exactly the ranks 2 … n are assigned, each once."""
+        schedule = PhaseSchedule(n)
+        assigned = []
+        for k in range(1, schedule.phase_count + 1):
+            assigned.extend(schedule.ranks_in_phase(k))
+        assert sorted(assigned) == list(range(2, n + 1))
+
+    @pytest.mark.parametrize("n", [2, 3, 4, 9, 31, 64, 1000])
+    def test_final_boundary_is_one(self, n):
+        schedule = PhaseSchedule(n)
+        assert schedule.f(schedule.phase_count + 1) == 1
+
+    def test_ranks_per_phase_consistency(self):
+        schedule = PhaseSchedule(100)
+        for k in range(1, schedule.phase_count + 1):
+            assert schedule.ranks_per_phase(k) == len(schedule.ranks_in_phase(k))
+
+    def test_is_final_phase(self):
+        schedule = PhaseSchedule(16)
+        assert not schedule.is_final_phase(1)
+        assert schedule.is_final_phase(schedule.phase_count)
+
+    def test_phase_of_rank(self):
+        schedule = PhaseSchedule(8)
+        assert schedule.phase_of_rank(8) == 1
+        assert schedule.phase_of_rank(5) == 1
+        assert schedule.phase_of_rank(3) == 2
+        assert schedule.phase_of_rank(2) == 3
+        assert schedule.phase_of_rank(1) == schedule.phase_count
+
+    def test_phase_of_rank_rejects_out_of_range(self):
+        with pytest.raises(ProtocolError):
+            PhaseSchedule(8).phase_of_rank(9)
+
+    def test_unranked_leader_threshold(self):
+        schedule = PhaseSchedule(256)
+        assert schedule.unranked_leader_threshold(1) == 128
+        assert schedule.unranked_leader_threshold(8) == 1
+        with pytest.raises(ProtocolError):
+            schedule.unranked_leader_threshold(0)
+
+    def test_f_rejects_out_of_range_phase(self):
+        schedule = PhaseSchedule(8)
+        with pytest.raises(ProtocolError):
+            schedule.f(0)
+        with pytest.raises(ProtocolError):
+            schedule.f(schedule.phase_count + 2)
+
+    def test_describe(self):
+        info = PhaseSchedule(32).describe()
+        assert info["n"] == 32
+        assert info["phase_count"] == 5
+        assert info["f"][1] == 32

@@ -1,0 +1,105 @@
+"""Unit tests for the synthetic coin and one-way epidemic primitives."""
+
+import math
+
+import pytest
+
+from repro.core.simulation import Simulator
+from repro.core.state import AgentState
+from repro.protocols.primitives.one_way_epidemic import (
+    EpidemicState,
+    OneWayEpidemicProtocol,
+    epidemic_upper_bound,
+)
+from repro.protocols.primitives.synthetic_coin import (
+    SyntheticCoinProtocol,
+    coin_counts,
+    coin_imbalance,
+    warmup_interactions,
+)
+
+
+class TestSyntheticCoin:
+    def test_coin_counts_and_imbalance(self):
+        states = [AgentState(coin=0), AgentState(coin=1), AgentState(coin=1), AgentState()]
+        assert coin_counts(states) == (1, 2)
+        assert coin_imbalance(states) == 1
+
+    def test_warmup_interactions_scale(self):
+        assert warmup_interactions(256) >= 256
+        with pytest.raises(ValueError):
+            warmup_interactions(1)
+
+    def test_coins_balance_after_warmup(self):
+        n = 200
+        protocol = SyntheticCoinProtocol(n)
+        simulator = Simulator(protocol, random_state=0)
+        simulator.run(max_interactions=warmup_interactions(n) * 4, stop_on_convergence=False)
+        imbalance = coin_imbalance(simulator.configuration.states)
+        # Lemma 28 allows n / (4 log n) ≈ 6.5; allow generous slack for one run.
+        assert imbalance <= n / 4
+
+    def test_protocol_toggles_responder_only(self):
+        protocol = SyntheticCoinProtocol(4)
+        initiator, responder = AgentState(coin=0), AgentState(coin=0)
+        protocol.transition(initiator, responder, None)
+        assert initiator.coin == 0
+        assert responder.coin == 1
+
+    def test_state_space_size(self):
+        assert SyntheticCoinProtocol(10).state_space_size() == 2
+
+
+class TestOneWayEpidemic:
+    def test_rejects_bad_subpopulation(self):
+        with pytest.raises(ValueError):
+            OneWayEpidemicProtocol(10, m=0)
+        with pytest.raises(ValueError):
+            OneWayEpidemicProtocol(10, m=11)
+
+    def test_initial_configuration_counts(self):
+        protocol = OneWayEpidemicProtocol(10, m=6)
+        config = protocol.initial_configuration()
+        assert protocol.informed_count(config) == 1
+        assert sum(state.active for state in config.states) == 6
+
+    def test_transition_is_one_way(self):
+        protocol = OneWayEpidemicProtocol(4)
+        informed = EpidemicState(informed=True)
+        uninformed = EpidemicState(informed=False)
+        # responder learns from initiator …
+        assert protocol.transition(informed, uninformed, None).changed
+        assert uninformed.informed
+        # … but an uninformed initiator learns nothing from an informed responder.
+        fresh = EpidemicState(informed=False)
+        assert not protocol.transition(fresh, informed, None).changed
+        assert not fresh.informed
+
+    def test_inactive_agents_do_not_participate(self):
+        protocol = OneWayEpidemicProtocol(4, m=2)
+        informed = EpidemicState(informed=True, active=True)
+        inert = EpidemicState(informed=False, active=False)
+        assert not protocol.transition(informed, inert, None).changed
+
+    def test_full_population_epidemic_completes_within_bound(self):
+        n = 100
+        protocol = OneWayEpidemicProtocol(n)
+        simulator = Simulator(protocol, random_state=1)
+        result = simulator.run(max_interactions=int(epidemic_upper_bound(n, n, gamma=1.0)))
+        assert result.converged
+
+    def test_subpopulation_epidemic_completes(self):
+        n, m = 80, 20
+        protocol = OneWayEpidemicProtocol(n, m=m)
+        simulator = Simulator(protocol, random_state=2)
+        result = simulator.run(max_interactions=int(epidemic_upper_bound(n, m, gamma=1.0)))
+        assert result.converged
+
+    def test_bound_monotone_in_subpopulation(self):
+        assert epidemic_upper_bound(100, 10, 1.0) > epidemic_upper_bound(100, 100, 1.0)
+
+    def test_bound_rejects_bad_arguments(self):
+        with pytest.raises(ValueError):
+            epidemic_upper_bound(10, 1, 1.0)
+        with pytest.raises(ValueError):
+            epidemic_upper_bound(10, 5, 0.0)

@@ -1,0 +1,123 @@
+"""Unit tests for the ``PropagateReset`` sub-protocol."""
+
+import pytest
+
+from repro.core.errors import ProtocolError
+from repro.core.simulation import Simulator
+from repro.core.state import AgentState
+from repro.protocols.reset.propagate_reset import (
+    PropagateReset,
+    PropagateResetProtocol,
+    default_reset_depths,
+)
+
+
+def make_reset(r_max=3, d_max=5, restarted=None):
+    restarted = restarted if restarted is not None else []
+
+    def restart(agent):
+        agent.leader_done = 0
+        restarted.append(agent)
+
+    return PropagateReset(r_max, d_max, restart), restarted
+
+
+class TestDefaults:
+    def test_default_depths_are_logarithmic(self):
+        r_small, d_small = default_reset_depths(16)
+        r_large, d_large = default_reset_depths(4096)
+        assert r_small < r_large
+        assert d_small > r_small
+        assert d_large > r_large
+
+    def test_default_depths_reject_tiny_population(self):
+        with pytest.raises(ProtocolError):
+            default_reset_depths(1)
+
+    def test_constructor_validation(self):
+        with pytest.raises(ProtocolError):
+            PropagateReset(0, 5, lambda a: None)
+        with pytest.raises(ProtocolError):
+            PropagateReset(3, 0, lambda a: None)
+
+
+class TestTrigger:
+    def test_trigger_wipes_everything_but_coin(self):
+        reset, _ = make_reset()
+        agent = AgentState(rank=7, coin=1, alive_count=3, leader_done=1)
+        reset.trigger(agent)
+        assert agent.rank is None and agent.leader_done is None
+        assert agent.coin == 1
+        assert agent.reset_count == 3
+        assert agent.delay_count == 5
+        assert reset.triggered_count == 1
+
+    def test_trigger_initializes_missing_coin(self):
+        reset, _ = make_reset()
+        agent = AgentState(rank=2)
+        reset.trigger(agent)
+        assert agent.coin == 0
+
+
+class TestPropagationRules:
+    def test_propagating_absorbs_computing_agent(self):
+        reset, _ = make_reset(r_max=4)
+        propagating = AgentState(coin=0, reset_count=4, delay_count=5)
+        computing = AgentState(rank=3, coin=1)
+        assert reset.apply(propagating, computing)
+        assert propagating.reset_count == 3
+        assert computing.rank is None
+        assert computing.reset_count == 3
+        assert computing.delay_count == 5
+        assert computing.coin == 1
+
+    def test_two_propagating_agents_take_maximum_minus_one(self):
+        reset, _ = make_reset()
+        left = AgentState(coin=0, reset_count=3, delay_count=5)
+        right = AgentState(coin=0, reset_count=1, delay_count=5)
+        reset.apply(left, right)
+        assert left.reset_count == 2
+        assert right.reset_count == 2
+
+    def test_propagating_meets_dormant(self):
+        reset, _ = make_reset()
+        propagating = AgentState(coin=0, reset_count=2, delay_count=5)
+        dormant = AgentState(coin=0, reset_count=0, delay_count=4)
+        reset.apply(propagating, dormant)
+        assert propagating.reset_count == 1
+        assert dormant.delay_count == 3
+
+    def test_dormant_wakes_after_delay_expires(self):
+        reset, restarted = make_reset(d_max=5)
+        dormant = AgentState(coin=1, reset_count=0, delay_count=1)
+        other = AgentState(rank=5)
+        reset.apply(dormant, other)
+        assert not dormant.in_reset
+        assert dormant.leader_done == 0
+        assert dormant.coin == 1
+        assert len(restarted) == 1
+
+    def test_does_not_apply_to_two_computing_agents(self):
+        reset, _ = make_reset()
+        left, right = AgentState(rank=1), AgentState(rank=2)
+        assert not reset.applies(left, right)
+        assert not reset.apply(left, right)
+
+
+class TestPropagateResetProtocol:
+    def test_full_reset_round_trip(self):
+        """A triggered reset eventually restarts the whole population."""
+        protocol = PropagateResetProtocol(30)
+        simulator = Simulator(protocol, random_state=0)
+        result = simulator.run(max_interactions=200_000)
+        assert result.converged
+        assert all(state.leader_done == 0 for state in result.configuration.states)
+
+    def test_reset_depth_bounds_epidemic(self):
+        """With R_max = 1 only direct contacts of the trigger can be reached,
+        but the dormancy countdown still restarts everyone who was absorbed."""
+        protocol = PropagateResetProtocol(10, r_max=1, d_max=4)
+        simulator = Simulator(protocol, random_state=1)
+        simulator.run(max_interactions=50_000)
+        # No propagating agent should survive.
+        assert all(not state.is_propagating for state in simulator.configuration.states)

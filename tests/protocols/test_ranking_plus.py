@@ -1,0 +1,129 @@
+"""Unit tests for the ``Ranking+`` rules (Protocol 4)."""
+
+import pytest
+
+from repro.core.state import AgentState
+from repro.protocols.ranking.phases import PhaseSchedule
+from repro.protocols.ranking.ranking_plus import RankingPlus
+
+
+@pytest.fixture
+def resets():
+    return []
+
+
+@pytest.fixture
+def plus(resets):
+    schedule = PhaseSchedule(8)
+    return RankingPlus(
+        schedule,
+        wait_init=4,
+        alive_reset=6,
+        l_max=12,
+        trigger_reset=lambda agent: resets.append(agent),
+    )
+
+
+class TestErrorDetection:
+    def test_duplicate_rank_triggers_reset(self, plus, resets):
+        left, right = AgentState(rank=5), AgentState(rank=5)
+        outcome = plus.apply(left, right)
+        assert outcome.reset_triggered
+        assert outcome.error == "duplicate_rank"
+        assert resets == [left]
+
+    def test_distinct_ranks_do_not_trigger(self, plus, resets):
+        outcome = plus.apply(AgentState(rank=5), AgentState(rank=6))
+        assert not outcome.reset_triggered
+        assert not resets
+
+    def test_two_waiting_agents_trigger_reset(self, plus, resets):
+        left = AgentState(wait_count=2, coin=0, alive_count=5)
+        right = AgentState(wait_count=3, coin=1, alive_count=5)
+        outcome = plus.apply(left, right)
+        assert outcome.reset_triggered
+        assert outcome.error == "duplicate_waiting"
+
+    def test_error_counters_accumulate(self, plus):
+        plus.apply(AgentState(rank=2), AgentState(rank=2))
+        plus.apply(AgentState(rank=3), AgentState(rank=3))
+        assert plus.errors_detected["duplicate_rank"] == 2
+
+
+class TestLivenessChecking:
+    def test_pairwise_maximum_minus_one(self, plus):
+        left = AgentState(phase=1, coin=1, alive_count=3)
+        right = AgentState(phase=1, coin=1, alive_count=9)
+        plus.apply(left, right)
+        assert left.alive_count == 8
+        assert right.alive_count == 8
+
+    def test_top_ranked_agent_drains_counter(self, plus):
+        top = AgentState(rank=8)  # n = 8
+        agent = AgentState(phase=2, coin=1, alive_count=5)
+        plus.apply(top, agent)
+        assert agent.alive_count == 4
+
+    def test_counter_hitting_zero_triggers_reset(self, plus, resets):
+        top = AgentState(rank=7)  # n - 1
+        agent = AgentState(phase=2, coin=1, alive_count=1)
+        outcome = plus.apply(top, agent)
+        assert outcome.reset_triggered
+        assert outcome.error == "liveness"
+        assert resets == [top]
+
+    def test_replenish_on_tails_with_productive_pair(self, plus):
+        # Unaware leader (rank 1) meeting a phase-1 agent whose coin shows 0.
+        leader = AgentState(rank=1)
+        agent = AgentState(phase=1, coin=0, alive_count=2)
+        outcome = plus.apply(leader, agent)
+        assert agent.alive_count == plus.alive_reset
+        assert outcome.rank_assigned is None  # tails: no actual progress
+
+    def test_no_replenish_for_unproductive_pair(self, plus):
+        bystander = AgentState(rank=6)  # not the unaware leader for phase 1
+        agent = AgentState(phase=1, coin=0, alive_count=2)
+        plus.apply(bystander, agent)
+        assert agent.alive_count == 2
+
+
+class TestCoinGatedBaseProtocol:
+    def test_heads_runs_ranking(self, plus):
+        leader = AgentState(rank=1)
+        agent = AgentState(phase=1, coin=1, alive_count=5)
+        outcome = plus.apply(leader, agent)
+        assert outcome.rank_assigned == 5  # f_2 + 1 for n = 8
+        assert agent.rank == 5
+        assert agent.coin is None and agent.alive_count is None
+
+    def test_tails_blocks_ranking(self, plus):
+        leader = AgentState(rank=1)
+        agent = AgentState(phase=1, coin=0, alive_count=5)
+        outcome = plus.apply(leader, agent)
+        assert outcome.rank_assigned is None
+        assert agent.rank is None
+
+    def test_new_waiting_agent_gets_coin_and_counter(self, plus):
+        # Leader holding the last rank of phase 1 (boundary 4) assigns f_1 = 8
+        # and becomes waiting; Protocol 4 line 18 re-equips it.
+        leader = AgentState(rank=4)
+        agent = AgentState(phase=1, coin=1, alive_count=5)
+        plus.apply(leader, agent)
+        assert leader.wait_count == 4
+        assert leader.coin == 0
+        assert leader.alive_count == plus.l_max
+
+    def test_ranked_responder_without_coin_is_ignored(self, plus):
+        left = AgentState(rank=2)
+        right = AgentState(rank=3)
+        outcome = plus.apply(left, right)
+        assert not outcome.changed
+
+
+class TestValidation:
+    def test_rejects_inconsistent_counters(self):
+        schedule = PhaseSchedule(8)
+        with pytest.raises(ValueError):
+            RankingPlus(schedule, 4, alive_reset=0, l_max=8, trigger_reset=lambda a: None)
+        with pytest.raises(ValueError):
+            RankingPlus(schedule, 4, alive_reset=9, l_max=8, trigger_reset=lambda a: None)

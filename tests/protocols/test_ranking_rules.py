@@ -1,0 +1,149 @@
+"""Unit tests for the ``Ranking`` transition rules (Protocol 2)."""
+
+import pytest
+
+from repro.core.state import AgentState
+from repro.protocols.ranking.phases import PhaseSchedule
+from repro.protocols.ranking.rules import RankingRules
+
+
+@pytest.fixture
+def rules():
+    return RankingRules(PhaseSchedule(8), wait_init=6)
+
+
+class TestResponderNotPhaseAgent:
+    def test_ranked_responder_is_ignored(self, rules):
+        leader = AgentState(rank=1)
+        ranked = AgentState(rank=5)
+        outcome = rules.apply(leader, ranked)
+        assert not outcome.changed
+        assert ranked.rank == 5
+
+    def test_waiting_responder_is_ignored(self, rules):
+        leader = AgentState(rank=1)
+        waiting = AgentState(wait_count=3)
+        assert not rules.apply(leader, waiting).changed
+
+
+class TestLeaderAssignsRanks:
+    def test_assignment_in_phase_one(self, rules):
+        # n = 8: phase 1 assigns ranks 5..8; leader rank r assigns f_2 + r = 4 + r.
+        leader = AgentState(rank=1)
+        agent = AgentState(phase=1, coin=1, alive_count=9)
+        outcome = rules.apply(leader, agent)
+        assert outcome.changed
+        assert outcome.rank_assigned == 5
+        assert agent.rank == 5 and agent.phase is None
+        assert agent.coin is None and agent.alive_count is None
+        assert leader.rank == 2  # leader advances
+
+    def test_last_rank_of_nonfinal_phase_starts_waiting(self, rules):
+        leader = AgentState(rank=4)  # boundary of phase 1 is f1 - f2 = 4
+        agent = AgentState(phase=1)
+        outcome = rules.apply(leader, agent)
+        assert agent.rank == 8
+        assert outcome.initiator_became_waiting
+        assert leader.rank is None
+        assert leader.wait_count == 6
+
+    def test_final_phase_keeps_leader_rank(self, rules):
+        # Final phase (k = 3) assigns only rank 2; boundary f3 - f4 = 1.
+        leader = AgentState(rank=1)
+        agent = AgentState(phase=3)
+        outcome = rules.apply(leader, agent)
+        assert agent.rank == 2
+        assert leader.rank == 1
+        assert not outcome.initiator_became_waiting
+
+    def test_non_leader_ranked_agent_does_not_assign(self, rules):
+        ranked = AgentState(rank=6)  # above the phase-1 boundary of 4
+        agent = AgentState(phase=1)
+        outcome = rules.apply(ranked, agent)
+        assert agent.rank is None
+        # rank 6 is not f_1 = 8 either, so nothing at all happens
+        assert not outcome.changed
+
+
+class TestPhaseAdvancement:
+    def test_meeting_the_boundary_rank_bumps_phase(self, rules):
+        boundary_holder = AgentState(rank=8)  # f_1
+        agent = AgentState(phase=1)
+        outcome = rules.apply(boundary_holder, agent)
+        assert outcome.phase_advanced
+        assert agent.phase == 2
+
+    def test_final_phase_never_bumps_beyond_schedule(self, rules):
+        boundary_holder = AgentState(rank=2)  # f_3, final phase
+        agent = AgentState(phase=3)
+        outcome = rules.apply(boundary_holder, agent)
+        assert not outcome.phase_advanced
+        assert agent.phase == 3
+
+    def test_phase_epidemic_adopts_maximum(self, rules):
+        low = AgentState(phase=1)
+        high = AgentState(phase=3)
+        outcome = rules.apply(low, high)
+        assert outcome.changed and outcome.phase_advanced
+        assert low.phase == 3 and high.phase == 3
+
+    def test_equal_phases_are_noop(self, rules):
+        left = AgentState(phase=2)
+        right = AgentState(phase=2)
+        assert not rules.apply(left, right).changed
+
+
+class TestWaitingLeader:
+    def test_wait_counter_decrements_against_phase_agents(self, rules):
+        waiting = AgentState(wait_count=2)
+        agent = AgentState(phase=2)
+        outcome = rules.apply(waiting, agent)
+        assert outcome.changed
+        assert waiting.wait_count == 1
+
+    def test_wait_counter_expiry_yields_rank_one(self, rules):
+        waiting = AgentState(wait_count=1, coin=1, alive_count=5)
+        agent = AgentState(phase=2)
+        outcome = rules.apply(waiting, agent)
+        assert outcome.initiator_became_ranked
+        assert waiting.rank == 1
+        assert waiting.wait_count is None
+        assert waiting.coin is None and waiting.alive_count is None
+
+    def test_waiting_leader_ignores_ranked_responder(self, rules):
+        waiting = AgentState(wait_count=3)
+        ranked = AgentState(rank=7)
+        assert not rules.apply(waiting, ranked).changed
+        assert waiting.wait_count == 3
+
+
+class TestFullSequentialPhaseWalk:
+    def test_manual_execution_produces_valid_ranking(self):
+        """Drive Protocol 2 by hand (no scheduler) through all phases for n=8."""
+        n = 8
+        schedule = PhaseSchedule(n)
+        rules = RankingRules(schedule, wait_init=2)
+        leader = AgentState(rank=1)
+        others = [AgentState(phase=1) for _ in range(n - 1)]
+
+        unranked = list(others)
+        for phase in range(1, schedule.phase_count + 1):
+            # Leader assigns all ranks of the current phase.
+            while leader.rank is not None and unranked:
+                rules.apply(leader, unranked[0])
+                if unranked[0].rank is not None:
+                    unranked.pop(0)
+            if leader.rank is not None:
+                break  # final phase finished
+            # Phase transition: remaining agents learn the phase is over by
+            # meeting the boundary-rank holder, then the leader waits it out.
+            boundary_holder = next(
+                agent for agent in others if agent.rank == schedule.f(phase)
+            )
+            for agent in unranked:
+                rules.apply(boundary_holder, agent)
+            while leader.wait_count is not None:
+                rules.apply(leader, unranked[0])
+
+        ranks = sorted([leader.rank] + [agent.rank for agent in others])
+        assert ranks == list(range(1, n + 1))

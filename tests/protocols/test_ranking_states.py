@@ -1,0 +1,131 @@
+"""Unit tests for the state-space helpers of the ranking protocols."""
+
+from repro.core.configuration import Configuration
+from repro.core.state import AgentState
+from repro.protocols.ranking.phases import PhaseSchedule
+from repro.protocols.ranking.states import (
+    in_main_state,
+    is_initial_ranking_configuration,
+    is_initial_waiting_configuration,
+    is_productive_pair,
+    is_start_ranking_configuration,
+)
+
+
+class TestInMainState:
+    def test_ranked_agent_is_main(self):
+        assert in_main_state(AgentState(rank=3))
+
+    def test_phase_agent_needs_alive_count(self):
+        assert in_main_state(AgentState(phase=1, coin=0, alive_count=5))
+        assert not in_main_state(AgentState(phase=1, coin=0))
+
+    def test_waiting_agent_needs_alive_count(self):
+        assert in_main_state(AgentState(wait_count=2, coin=1, alive_count=5))
+        assert not in_main_state(AgentState(wait_count=2))
+
+    def test_reset_and_leader_election_are_not_main(self):
+        assert not in_main_state(AgentState(rank=1, reset_count=3, delay_count=2))
+        assert not in_main_state(AgentState(leader_done=0, is_leader=0))
+
+    def test_blank_agent_is_not_main(self):
+        assert not in_main_state(AgentState(coin=0))
+
+
+class TestProductivePair:
+    schedule = PhaseSchedule(256)
+
+    def test_waiting_initiator_with_phase_responder(self):
+        assert is_productive_pair(
+            AgentState(wait_count=4), AgentState(phase=3), self.schedule
+        )
+
+    def test_unaware_leader_with_phase_responder(self):
+        # floor(256 / 2^3) = 32: ranks up to 32 pass the unaware-leader test.
+        assert is_productive_pair(
+            AgentState(rank=32), AgentState(phase=3), self.schedule
+        )
+        assert not is_productive_pair(
+            AgentState(rank=33), AgentState(phase=3), self.schedule
+        )
+
+    def test_non_phase_responder_is_never_productive(self):
+        assert not is_productive_pair(
+            AgentState(wait_count=4), AgentState(rank=7), self.schedule
+        )
+
+    def test_unranked_non_waiting_initiator_is_not_productive(self):
+        assert not is_productive_pair(
+            AgentState(phase=1), AgentState(phase=1), self.schedule
+        )
+
+
+class TestConfigurationClasses:
+    def test_start_ranking_configuration(self):
+        wait_init = 6
+        states = [AgentState(wait_count=wait_init)]
+        states += [AgentState(phase=1) for _ in range(5)]
+        states += [AgentState(leader_done=1, is_leader=0)]
+        config = Configuration(states)
+        assert is_start_ranking_configuration(config, wait_init)
+
+    def test_start_ranking_rejects_extra_leader(self):
+        wait_init = 6
+        states = [AgentState(wait_count=wait_init)]
+        states += [AgentState(phase=1) for _ in range(4)]
+        states += [AgentState(leader_done=1, is_leader=1)]
+        config = Configuration(states)
+        assert not is_start_ranking_configuration(config, wait_init)
+
+    def test_start_ranking_rejects_two_waiting_agents(self):
+        wait_init = 6
+        states = [AgentState(wait_count=wait_init), AgentState(wait_count=wait_init)]
+        states += [AgentState(phase=1) for _ in range(4)]
+        config = Configuration(states)
+        assert not is_start_ranking_configuration(config, wait_init)
+
+    def _waiting_configuration(self, n=8, phase=2, wait_init=6):
+        schedule = PhaseSchedule(n)
+        states = [AgentState(wait_count=wait_init)]
+        ranked = list(range(schedule.f(phase) + 1, n + 1))
+        states += [AgentState(rank=r) for r in ranked]
+        states += [AgentState(phase=phase) for _ in range(n - 1 - len(ranked))]
+        return Configuration(states), schedule
+
+    def test_initial_waiting_configuration(self):
+        config, schedule = self._waiting_configuration()
+        assert is_initial_waiting_configuration(config, schedule, phase=2, wait_init=6)
+
+    def test_initial_waiting_rejects_wrong_counter(self):
+        config, schedule = self._waiting_configuration()
+        config[0].wait_count = 3
+        assert not is_initial_waiting_configuration(config, schedule, phase=2, wait_init=6)
+
+    def test_initial_waiting_rejects_missing_rank(self):
+        config, schedule = self._waiting_configuration()
+        config[1].rank = None
+        config[1].phase = 2
+        assert not is_initial_waiting_configuration(config, schedule, phase=2, wait_init=6)
+
+    def _ranking_configuration(self, n=8, phase=2):
+        schedule = PhaseSchedule(n)
+        states = [AgentState(rank=1)]
+        ranked = list(range(schedule.f(phase) + 1, n + 1))
+        states += [AgentState(rank=r) for r in ranked]
+        states += [AgentState(phase=phase) for _ in range(n - 1 - len(ranked))]
+        return Configuration(states), schedule
+
+    def test_initial_ranking_configuration(self):
+        config, schedule = self._ranking_configuration()
+        assert is_initial_ranking_configuration(config, schedule, phase=2)
+
+    def test_initial_ranking_rejects_wrong_phase(self):
+        config, schedule = self._ranking_configuration()
+        config[-1].phase = 1
+        assert not is_initial_ranking_configuration(config, schedule, phase=2)
+
+    def test_initial_ranking_rejects_waiting_agent(self):
+        config, schedule = self._ranking_configuration()
+        config[-1].phase = None
+        config[-1].wait_count = 3
+        assert not is_initial_ranking_configuration(config, schedule, phase=2)

@@ -1,0 +1,140 @@
+"""Unit and integration tests for ``SpaceEfficientRanking`` (Theorem 1)."""
+
+import math
+
+import pytest
+
+from repro.core.rng import make_rng
+from repro.core.simulation import Simulator
+from repro.core.state import AgentState
+from repro.experiments.workloads import figure3_initial_configuration
+from repro.protocols.ranking.space_efficient import SpaceEfficientRanking
+
+
+class TestTransitionRules:
+    def test_initial_state_is_leader_electing(self):
+        protocol = SpaceEfficientRanking(16)
+        state = protocol.initial_state()
+        assert state.in_leader_election
+        assert state.rank is None
+
+    def test_elected_leader_becomes_waiting(self):
+        protocol = SpaceEfficientRanking(16)
+        leader = AgentState(is_leader=1, leader_done=1, le_level=5, le_count=0)
+        other = AgentState(phase=1)
+        result = protocol.transition(leader, other, make_rng(0))
+        assert result.changed
+        assert leader.wait_count == protocol.wait_init
+        assert not leader.in_leader_election
+
+    def test_leader_electing_agent_joins_ranking(self):
+        protocol = SpaceEfficientRanking(16)
+        electing = AgentState(is_leader=0, leader_done=1, le_level=3, le_count=0)
+        ranked = AgentState(rank=10)
+        result = protocol.transition(electing, ranked, make_rng(0))
+        assert result.changed
+        assert electing.phase == 1
+        assert not electing.in_leader_election
+
+    def test_two_ranked_agents_are_a_noop(self):
+        protocol = SpaceEfficientRanking(16)
+        result = protocol.transition(AgentState(rank=3), AgentState(rank=4), make_rng(0))
+        assert not result.changed
+
+    def test_ranking_runs_between_main_agents(self):
+        protocol = SpaceEfficientRanking(16)
+        leader = AgentState(rank=1)
+        agent = AgentState(phase=1)
+        result = protocol.transition(leader, agent, make_rng(0))
+        assert result.rank_assigned == protocol.schedule.f(2) + 1
+
+    def test_conversion_followed_by_ranking_in_same_interaction(self):
+        """Protocol 1 lines 7-10: the converted agent may be ranked immediately."""
+        protocol = SpaceEfficientRanking(16)
+        leader = AgentState(rank=1)
+        electing = AgentState(is_leader=0, leader_done=0, le_level=3, le_count=5)
+        result = protocol.transition(leader, electing, make_rng(0))
+        assert result.rank_assigned == protocol.schedule.f(2) + 1
+        assert electing.rank == protocol.schedule.f(2) + 1
+
+
+class TestStateAccounting:
+    def test_overhead_is_logarithmic(self):
+        small = SpaceEfficientRanking(64).overhead_states()
+        large = SpaceEfficientRanking(4096).overhead_states()
+        assert small < large
+        assert large <= 10 * math.ceil(math.log2(4096)) + 10
+
+    def test_state_space_size_is_n_plus_overhead(self):
+        protocol = SpaceEfficientRanking(128)
+        assert protocol.state_space_size() == 128 + protocol.overhead_states()
+
+    def test_describe_contains_parameters(self):
+        info = SpaceEfficientRanking(64, c_wait=3.0).describe()
+        assert info["c_wait"] == 3.0
+        assert info["phase_count"] == 6
+
+
+class TestConvergence:
+    @pytest.mark.parametrize("n,seed", [(16, 0), (32, 1), (48, 2)])
+    def test_reaches_valid_ranking_from_fresh_start(self, n, seed):
+        protocol = SpaceEfficientRanking(n)
+        simulator = Simulator(protocol, random_state=seed)
+        result = simulator.run(max_interactions=200 * n * n)
+        assert result.converged
+        assert result.configuration.is_valid_ranking()
+
+    def test_reaches_valid_ranking_from_figure3_start(self):
+        protocol = SpaceEfficientRanking(64)
+        configuration = figure3_initial_configuration(protocol)
+        simulator = Simulator(protocol, configuration=configuration, random_state=3)
+        result = simulator.run(max_interactions=200 * 64 * 64)
+        assert result.converged
+
+    def test_valid_ranking_is_silent(self):
+        """Closure: once in C_L, no interaction changes any state."""
+        n = 12
+        protocol = SpaceEfficientRanking(n)
+        simulator = Simulator(protocol, random_state=4)
+        result = simulator.run(max_interactions=200 * n * n)
+        assert result.converged
+        snapshot = [state.as_tuple() for state in result.configuration.states]
+        rng = make_rng(5)
+        states = result.configuration.states
+        for _ in range(2000):
+            i, j = rng.integers(0, n), rng.integers(0, n)
+            if i == j:
+                continue
+            outcome = protocol.transition(states[i], states[j], rng)
+            assert not outcome.changed
+        assert [state.as_tuple() for state in states] == snapshot
+
+    def test_stabilization_time_scales_like_n2_logn(self):
+        """Normalized time should stay within a small constant band (Theorem 1)."""
+        normalized = []
+        for n, seed in ((32, 10), (64, 11)):
+            protocol = SpaceEfficientRanking(n)
+            simulator = Simulator(protocol, random_state=seed)
+            result = simulator.run(max_interactions=400 * n * n)
+            assert result.converged
+            normalized.append(result.interactions / (n * n * math.log2(n)))
+        assert all(0.5 < value < 20 for value in normalized)
+
+    def test_each_rank_is_assigned_at_most_once(self):
+        """In a successful run every rank in 2 … n is handed out exactly once."""
+        n = 24
+        protocol = SpaceEfficientRanking(n)
+        assigned = []
+        simulator = Simulator(
+            protocol,
+            random_state=6,
+            on_event=lambda t, i, j, result: (
+                assigned.append(result.rank_assigned)
+                if result.rank_assigned is not None
+                else None
+            ),
+        )
+        result = simulator.run(max_interactions=200 * n * n)
+        assert result.converged
+        assert len(assigned) == len(set(assigned)) == n - 1
+        assert sorted(assigned) == list(range(2, n + 1))

@@ -1,0 +1,61 @@
+"""Tests of the top-level public API surface.
+
+Downstream users interact with the library through ``import repro``; these
+tests pin the advertised names, their re-export consistency and the basic
+metadata so accidental API breakage is caught.
+"""
+
+import repro
+import repro.analysis
+import repro.baselines
+import repro.experiments
+
+
+def test_version_is_exposed():
+    assert isinstance(repro.__version__, str)
+    assert repro.__version__.count(".") == 2
+
+
+def test_all_names_resolve():
+    for name in repro.__all__:
+        assert hasattr(repro, name), f"__all__ advertises missing name {name!r}"
+
+
+def test_core_protocol_classes_are_exported():
+    for name in (
+        "SpaceEfficientRanking",
+        "StableRanking",
+        "Simulator",
+        "Configuration",
+        "AgentState",
+        "PhaseSchedule",
+        "AggregateSpaceEfficientRanking",
+    ):
+        assert name in repro.__all__
+
+
+def test_subpackage_all_names_resolve():
+    for module in (repro.analysis, repro.baselines, repro.experiments):
+        for name in module.__all__:
+            assert hasattr(module, name), f"{module.__name__} misses {name!r}"
+
+
+def test_protocol_names_are_distinct():
+    protocols = [
+        repro.SpaceEfficientRanking(8),
+        repro.StableRanking(8),
+        repro.baselines.CaiRanking(8),
+        repro.baselines.BurmanStyleRanking(8),
+        repro.baselines.TokenCounterRanking(8),
+    ]
+    names = [protocol.name for protocol in protocols]
+    assert len(names) == len(set(names))
+
+
+def test_public_classes_have_docstrings():
+    for name in repro.__all__:
+        if name.startswith("__"):
+            continue
+        attribute = getattr(repro, name)
+        if isinstance(attribute, type) or callable(attribute):
+            assert attribute.__doc__, f"{name} has no docstring"
