@@ -1,0 +1,146 @@
+#!/usr/bin/env python3
+"""Run the engine benchmark suite and write a machine-readable summary.
+
+Executes ``benchmarks/bench_engine.py`` under pytest-benchmark, reduces the
+raw timings to interactions-per-second per (workload, engine, protocol, n),
+and writes ``BENCH_engine.json`` at the repository root together with the
+array-over-reference speedup per matched workload.  The file is checked in
+so future changes have a perf trajectory to compare against — rerun this
+script after touching the engines and eyeball the deltas.
+
+Usage:
+    python benchmarks/run_benchmarks.py [--output PATH]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import platform
+import subprocess
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+BENCH_FILE = Path(__file__).resolve().parent / "bench_engine.py"
+DEFAULT_OUTPUT = REPO_ROOT / "BENCH_engine.json"
+
+
+def run_pytest_benchmark(json_path: Path) -> None:
+    """Run the bench_engine suite, exporting raw results to ``json_path``."""
+    command = [
+        sys.executable,
+        "-m",
+        "pytest",
+        str(BENCH_FILE),
+        "-q",
+        "-p",
+        "no:cacheprovider",
+        f"--benchmark-json={json_path}",
+    ]
+    source_path = str(REPO_ROOT / "src")
+    existing = os.environ.get("PYTHONPATH")
+    environment = {
+        **os.environ,
+        "PYTHONPATH": (
+            source_path if not existing else source_path + os.pathsep + existing
+        ),
+    }
+    completed = subprocess.run(command, cwd=REPO_ROOT, env=environment)
+    if completed.returncode != 0:
+        raise SystemExit(f"benchmark suite failed (exit {completed.returncode})")
+
+
+def summarize(raw: dict) -> dict:
+    """Reduce pytest-benchmark output to per-workload engine entries."""
+    entries = []
+    for bench in raw.get("benchmarks", []):
+        extra = bench.get("extra_info", {})
+        mean = bench["stats"]["mean"]
+        entry = {
+            "name": bench["name"],
+            "workload": extra.get("workload", bench["name"]),
+            "engine": extra.get("engine", "unknown"),
+            "protocol": extra.get("protocol"),
+            "n": extra.get("n"),
+            "mean_seconds": mean,
+            "stddev_seconds": bench["stats"]["stddev"],
+            "rounds": bench["stats"]["rounds"],
+        }
+        interactions = extra.get("interactions_per_round") or extra.get(
+            "mean_interactions"
+        )
+        if interactions:
+            entry["interactions_per_round"] = interactions
+            entry["interactions_per_sec"] = interactions / mean
+        entries.append(entry)
+
+    speedups = {}
+    by_workload: dict = {}
+    for entry in entries:
+        by_workload.setdefault(entry["workload"], {})[entry["engine"]] = entry
+    for workload, engines in by_workload.items():
+        reference = engines.get("reference")
+        array = engines.get("array")
+        if (
+            reference
+            and array
+            and reference.get("interactions_per_sec")
+            and array.get("interactions_per_sec")
+        ):
+            speedups[workload] = {
+                "reference_interactions_per_sec": reference["interactions_per_sec"],
+                "array_interactions_per_sec": array["interactions_per_sec"],
+                "array_over_reference": (
+                    array["interactions_per_sec"]
+                    / reference["interactions_per_sec"]
+                ),
+            }
+
+    return {
+        "suite": "bench_engine",
+        "generated_by": "benchmarks/run_benchmarks.py",
+        "unix_time": int(time.time()),
+        "machine": {
+            "python": platform.python_version(),
+            "platform": platform.platform(),
+            "processor": platform.processor() or None,
+        },
+        "benchmarks": sorted(
+            entries, key=lambda item: (item["workload"], item["engine"])
+        ),
+        "speedups": speedups,
+    }
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--output",
+        type=Path,
+        default=DEFAULT_OUTPUT,
+        help=f"where to write the summary (default: {DEFAULT_OUTPUT})",
+    )
+    arguments = parser.parse_args()
+
+    with tempfile.TemporaryDirectory() as scratch:
+        json_path = Path(scratch) / "raw_benchmarks.json"
+        run_pytest_benchmark(json_path)
+        raw = json.loads(json_path.read_text())
+
+    summary = summarize(raw)
+    arguments.output.write_text(json.dumps(summary, indent=2, sort_keys=False) + "\n")
+    print(f"wrote {arguments.output}")
+    for workload, figures in summary["speedups"].items():
+        print(
+            f"  {workload}: array {figures['array_interactions_per_sec']:,.0f}/s"
+            f" vs reference {figures['reference_interactions_per_sec']:,.0f}/s"
+            f" -> {figures['array_over_reference']:.1f}x"
+        )
+
+
+if __name__ == "__main__":
+    main()

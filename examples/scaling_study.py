@@ -7,13 +7,54 @@ of the population, across a range of population sizes.  The normalized times
 are flat in n (ranking a constant fraction costs Θ(n²) interactions), and the
 full stabilization time scales as Θ(n² log n).
 
+The study closes with an engine face-off on the self-stabilizing
+``StableRanking`` protocol: the same full-convergence sweep is executed on
+the agent-level reference simulator and on the vectorized array engine
+(which shares its transition tabulation across the repetitions), and the
+resulting throughput table shows the speedup per population size.
+
 Usage:
     python examples/scaling_study.py [max_n] [repetitions]
 """
 
 import sys
+import time
 
+from repro import ArraySimulator, EngineCache, Simulator, StableRanking
 from repro.experiments import format_figure3, format_scaling, run_figure3, run_scaling
+from repro.experiments.ascii_plot import format_table
+
+
+def engine_speedup_table(n_values, repetitions, budget_factor=4000):
+    """Run the same StableRanking sweep on both engines; tabulate speedups."""
+    rows = []
+    for n in n_values:
+        timings = {}
+        for engine in ("reference", "array"):
+            cache = EngineCache()
+            interactions = 0
+            elapsed = 0.0
+            for seed in range(repetitions):
+                if engine == "array":
+                    simulator = ArraySimulator(
+                        StableRanking(n), random_state=seed, cache=cache
+                    )
+                else:
+                    simulator = Simulator(StableRanking(n), random_state=seed)
+                start = time.perf_counter()
+                result = simulator.run(max_interactions=budget_factor * n * n)
+                elapsed += time.perf_counter() - start
+                interactions += result.interactions
+            timings[engine] = interactions / elapsed
+        rows.append(
+            {
+                "n": n,
+                "reference_per_sec": round(timings["reference"]),
+                "array_per_sec": round(timings["array"]),
+                "speedup": round(timings["array"] / timings["reference"], 1),
+            }
+        )
+    return rows
 
 
 def main() -> None:
@@ -29,6 +70,16 @@ def main() -> None:
     print("\nFull stabilization time, normalized by n² log₂ n (Theorem 1):\n")
     scaling = run_scaling(n_values=n_values, repetitions=repetitions, engine="aggregate")
     print(format_scaling(scaling))
+
+    # The agent-level engines are exact per-interaction simulations, so the
+    # face-off uses smaller populations than the aggregate sweep above.
+    engine_ns = [n for n in (64, 128, 256) if n <= max_n]
+    engine_reps = min(repetitions, 3)
+    print(
+        "\nStableRanking throughput, reference vs. array engine "
+        f"({engine_reps} full runs per n, shared tabulation):\n"
+    )
+    print(format_table(engine_speedup_table(engine_ns, engine_reps)))
 
 
 if __name__ == "__main__":

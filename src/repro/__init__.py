@@ -19,16 +19,20 @@ inventory and the per-experiment index.
 
 from .core import (
     AgentState,
+    ArraySimulator,
     Configuration,
+    EngineCache,
     MetricsCollector,
     PopulationProtocol,
     RankingProtocol,
     Role,
     SimulationResult,
     Simulator,
+    StateCodec,
     TransitionResult,
     classify_role,
     make_rng,
+    make_simulator,
     standard_ranking_probes,
 )
 from .protocols.leader_election import (
@@ -52,7 +56,9 @@ __version__ = "1.0.0"
 __all__ = [
     "AgentState",
     "AggregateSpaceEfficientRanking",
+    "ArraySimulator",
     "Configuration",
+    "EngineCache",
     "FastLeaderElection",
     "FastLeaderElectionProtocol",
     "GSLeaderElection",
@@ -70,9 +76,11 @@ __all__ = [
     "Simulator",
     "SpaceEfficientRanking",
     "StableRanking",
+    "StateCodec",
     "TransitionResult",
     "classify_role",
     "make_rng",
+    "make_simulator",
     "standard_ranking_probes",
     "__version__",
 ]

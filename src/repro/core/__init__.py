@@ -7,14 +7,19 @@ the exact event-driven simulation base class.
 """
 
 from .aggregate import AggregateResult, EventDrivenSimulator
+from .array_engine import ArraySimulator, EngineCache, make_simulator
+from .codec import DenseTransitionTables, StateCodec, compile_dense_tables
 from .configuration import Configuration
 from .errors import (
     AnalysisError,
+    CodecError,
     ConfigurationError,
     ExperimentError,
     ProtocolError,
+    RandomnessConsumed,
     ReproError,
     SimulationLimitExceeded,
+    StateSpaceTooLarge,
 )
 from .events import TraceEvent, TraceLog
 from .metrics import MetricsCollector, TimeSeries, standard_ranking_probes
@@ -28,26 +33,35 @@ __all__ = [
     "AgentState",
     "AggregateResult",
     "AnalysisError",
+    "ArraySimulator",
+    "CodecError",
     "Configuration",
     "ConfigurationError",
+    "DenseTransitionTables",
+    "EngineCache",
     "EventDrivenSimulator",
     "ExperimentError",
     "MetricsCollector",
     "PopulationProtocol",
     "ProtocolError",
+    "RandomnessConsumed",
     "RankingProtocol",
     "ReproError",
     "Role",
     "SimulationLimitExceeded",
     "SimulationResult",
     "Simulator",
+    "StateCodec",
+    "StateSpaceTooLarge",
     "TimeSeries",
     "TraceEvent",
     "TraceLog",
     "TransitionResult",
     "UniformPairScheduler",
     "classify_role",
+    "compile_dense_tables",
     "make_rng",
+    "make_simulator",
     "spawn_rngs",
     "spawn_seeds",
     "standard_ranking_probes",

@@ -1,0 +1,1015 @@
+"""``ArraySimulator`` — vectorized agent-level simulation on encoded states.
+
+The reference :class:`~repro.core.simulation.Simulator` executes one
+interaction per Python call, which caps it at a few hundred thousand
+interactions per second and makes the paper's ``Θ(n² log n)``-interaction
+runs infeasible beyond ``n ≈ 256``.  This module simulates the *same*
+process — the uniform random scheduler applied to the protocol's transition
+function — on dense state codes (:class:`~repro.core.codec.StateCodec`),
+consuming sampled pairs in chunks.
+
+Exactness
+---------
+Sequential semantics are preserved exactly, not approximately.  The engine
+exploits one fact: a transition only reads and writes the states of its two
+participants, so interactions that provably change nothing commute with
+everything.  Each chunk is processed in two steps:
+
+1. **Optimistic bulk no-op elimination.**  The outcome of every pair is
+   probed against the compiled transition tables *without* evaluating
+   unknown entries.  The *volatile* agent set is read off the probes:
+   agents some pair currently writes, plus both agents of every
+   untabulated pair.  Pairs touching no volatile agent are *tentatively*
+   retired as no-ops, with their (exact) result flags deferred.  Late in a
+   run almost every interaction retires here, in a handful of numpy
+   operations per chunk.
+2. **Validated ordered walk.**  The remaining pairs execute one at a time,
+   in their original order, as scalar table lookups on the live code list —
+   a dictionary probe and a few integer operations per interaction, an
+   order of magnitude less than a full Python-object transition.  The walk
+   also *validates* the elimination: if a pair writes an agent assumed
+   stable (possible only when an operand written earlier in the chunk
+   flipped the pair's behavior), that agent joins the volatile set and its
+   later tentatively-retired pairs are merged back into the walk at their
+   original positions.  A pair that stays retired therefore provably saw
+   its operands keep their chunk-start states — its probed no-op outcome
+   is its true outcome.
+
+Determinism and same-seed equality
+----------------------------------
+The engine refills its pair buffer with
+``UniformPairScheduler.sample_chunk(chunk_size)``, issuing exactly the same
+generator calls as the reference scheduler's internal refill.  For protocols
+whose transition is deterministic given the two states (both of the paper's
+headline protocols qualify — synthetic coins are deterministic togglings), a
+same-seed ``ArraySimulator`` run therefore visits exactly the same
+configuration trajectory as the reference ``Simulator``.  The array
+engine's *default* convergence-check cadence is coarser than the
+reference's (see ``convergence_interval`` below), so to reproduce the
+reference's exact stopping interaction, pass the same explicit
+``convergence_interval`` to both engines.
+
+Engine modes
+------------
+``dense``
+    The reachable state space closed under the transition function fits in
+    ``max_dense_states`` states; complete ``(S × S)`` numpy tables are
+    precompiled (:func:`~repro.core.codec.compile_dense_tables`) and chunk
+    probes are plain fancy indexing.  The one-way epidemic (4 states) runs
+    here.
+``lazy``
+    The concrete state space is too large to enumerate eagerly
+    (``StableRanking`` has ``n + Θ(log² n)`` states with large constants),
+    so table entries are tabulated on first use and cached — the
+    vectorized-kernel fallback path.  Still exact and deterministic; share
+    an :class:`EngineCache` across runs of equivalent protocols to amortize
+    the tabulation.
+``object``
+    The transition consumes randomness (the GS leader-election substrate
+    draws random tags), so state pairs cannot be cached at all.  The engine
+    degrades to an in-order object loop — semantically the reference
+    simulator without its per-step bookkeeping.  Selected automatically,
+    also mid-run if a lazily tabulated protocol first consumes randomness
+    deep into a trajectory (the walk order makes the hand-over exact).
+
+Protocol-level *diagnostic* counters (e.g. ``RankingPlus.errors_detected``)
+are perturbed by tabulation probes and, in the table modes, do not reflect
+the simulated trajectory; all counters in ``SimulationResult`` are exact.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional
+
+import numpy as np
+
+from .codec import (
+    RAISING_RNG,
+    DenseTransitionTables,
+    StateCodec,
+    compile_dense_tables,
+)
+from .configuration import Configuration
+from .errors import (
+    CodecError,
+    RandomnessConsumed,
+    SimulationLimitExceeded,
+    StateSpaceTooLarge,
+)
+from .metrics import MetricsCollector
+from .protocol import PopulationProtocol
+from .rng import RandomState
+from .scheduler import UniformPairScheduler
+from .simulation import SimulationResult, Simulator
+
+__all__ = ["ArraySimulator", "EngineCache", "make_simulator", "ENGINE_NAMES"]
+
+#: Engine names understood by :func:`make_simulator`.
+ENGINE_NAMES = ("reference", "array")
+
+# Bit layout of packed table entries: successor codes use 21 bits each, the
+# assigned rank 17 bits, then one bit each for the changed and reset flags.
+# The limits are enforced at construction time.  -1 marks "not tabulated".
+_CODE_BITS = 21
+_RANK_BITS = 17
+_MAX_CODES = 1 << _CODE_BITS
+_MAX_RANK = 1 << _RANK_BITS
+_CODE_MASK = _MAX_CODES - 1
+_RANK_MASK = _MAX_RANK - 1
+_RANK_SHIFT = 2 * _CODE_BITS
+_CHANGED_SHIFT = _RANK_SHIFT + _RANK_BITS
+_RESET_SHIFT = _CHANGED_SHIFT + 1
+_CHANGED_BIT = 1 << _CHANGED_SHIFT
+_RESET_BIT = 1 << _RESET_SHIFT
+_RANK_FIELD = _RANK_MASK << _RANK_SHIFT
+#: Any bit at or above the rank field: pairs without any of these are inert.
+_FLAG_FIELD = _RANK_FIELD | _CHANGED_BIT | _RESET_BIT
+
+def _pack_outcome(outcome) -> int:
+    """Pack a :class:`~repro.core.codec.PairOutcome` into one int64."""
+    return (
+        outcome.next_initiator
+        | (outcome.next_responder << _CODE_BITS)
+        | (outcome.rank_assigned << _RANK_SHIFT)
+        | (int(outcome.changed) << _CHANGED_SHIFT)
+        | (int(outcome.reset_triggered) << _RESET_SHIFT)
+    )
+
+
+# Probe-class bits: what an interaction between two states does, compressed
+# to one byte for the chunk-wide volatile-set probe.  -1 (all bits set, via
+# two's complement) marks unknown entries, which thereby conservatively read
+# as "writes both agents and carries flags".
+_CLS_WRITES_U = 1
+_CLS_WRITES_V = 2
+_CLS_FLAGGED = 4
+
+#: Probe-class tables are capped at this many states (int8, so the full
+#: table is at most _PROBE_CAP² bytes = 64 MiB); rarer codes beyond the cap
+#: degrade gracefully to "unknown" probes.
+_PROBE_CAP = 8192
+
+
+def _class_of(packed: int, a: int, b: int) -> int:
+    """Probe class of a packed outcome for the state pair ``(a, b)``."""
+    cls = 0
+    if packed & _CODE_MASK != a:
+        cls |= _CLS_WRITES_U
+    if (packed >> _CODE_BITS) & _CODE_MASK != b:
+        cls |= _CLS_WRITES_V
+    if packed & _FLAG_FIELD:
+        cls |= _CLS_FLAGGED
+    return cls
+
+
+class EngineCache:
+    """Tabulation state reusable across runs of *equivalent* protocols.
+
+    A ``StableRanking(128)`` run visits far more distinct state pairs than a
+    single trajectory can amortize, so repeated runs (benchmark rounds,
+    experiment sweeps) should share the tabulation.  Pass one cache instance
+    to every :class:`ArraySimulator` built for protocols with identical
+    parameters — the transition function must be the same function of the
+    two states, which holds exactly when the protocol type and all
+    constructor arguments match.  Sharing across *different*
+    parameterizations silently corrupts results; nothing can check this for
+    you.
+    """
+
+    __slots__ = ("codec", "pair_cache", "probe_classes", "dense_tables", "mode")
+
+    def __init__(self):
+        self.codec = StateCodec()
+        self.pair_cache: Dict[int, int] = {}
+        #: (S_cap × S_cap) int8 probe-class table, grown with the codec.
+        self.probe_classes: Optional[np.ndarray] = None
+        self.dense_tables: Optional[DenseTransitionTables] = None
+        #: Resolved engine mode, or ``None`` until the first simulator decides.
+        self.mode: Optional[str] = None
+
+    def ensure_probe_capacity(self, size: int) -> np.ndarray:
+        """Grow the probe-class table to cover at least ``size`` states."""
+        table = self.probe_classes
+        current = 0 if table is None else table.shape[0]
+        if current >= min(size, _PROBE_CAP):
+            return table
+        new_cap = 256
+        while new_cap < size and new_cap < _PROBE_CAP:
+            new_cap *= 2
+        grown = np.full((new_cap, new_cap), -1, dtype=np.int8)
+        if current:
+            grown[:current, :current] = table
+        self.probe_classes = grown
+        return grown
+
+
+class _DenseKernel:
+    """Chunk probes backed by precompiled complete ``(S × S)`` tables."""
+
+    def __init__(self, tables: DenseTransitionTables):
+        self._tables = tables
+        size = tables.size
+        packed = (
+            tables.next_initiator.astype(np.int64)
+            | (tables.next_responder.astype(np.int64) << _CODE_BITS)
+            | (tables.rank.astype(np.int64) << _RANK_SHIFT)
+            | (tables.changed.astype(np.int64) << _CHANGED_SHIFT)
+            | (tables.reset.astype(np.int64) << _RESET_SHIFT)
+        )
+        codes = np.arange(size, dtype=np.int64)
+        keys = (codes[:, None] << _CODE_BITS) | codes[None, :]
+        #: Scalar-probe view of the same tables, used by the ordered walk.
+        self.pair_dict: Dict[int, int] = dict(
+            zip(keys.ravel().tolist(), packed.ravel().tolist())
+        )
+        classes = np.zeros((size, size), dtype=np.int8)
+        classes |= (tables.next_initiator != codes[:, None]) * _CLS_WRITES_U
+        classes |= (tables.next_responder != codes[None, :]) * _CLS_WRITES_V
+        classes |= ((packed & _FLAG_FIELD) != 0) * _CLS_FLAGGED
+        self._classes = classes
+
+    @property
+    def tables(self) -> DenseTransitionTables:
+        return self._tables
+
+    @property
+    def cached_pairs(self) -> int:
+        """Number of tabulated state pairs (diagnostics)."""
+        return len(self.pair_dict)
+
+    def probe_class(self, cu: np.ndarray, cv: np.ndarray) -> np.ndarray:
+        """Probe-class bytes for a batch of state pairs (complete tables)."""
+        return self._classes[cu, cv]
+
+    def evaluate_packed(self, key: int) -> int:  # pragma: no cover - defensive
+        raise KeyError(f"dense tables are complete but miss key {key}")
+
+
+class _LazyKernel:
+    """Chunk probes backed by an on-demand pair cache.
+
+    Full outcomes are packed into one int64 per state pair for the walk's
+    scalar dictionary probes; a parallel int8 ``(S × S)`` probe-class table
+    answers the chunk-wide "does this pair write / carry flags?" question
+    with a single fancy-index gather.  Batch probes never tabulate — unknown
+    pairs read as conservative "writes both" and are resolved by the ordered
+    walk, which sees the settled codes and calls :meth:`evaluate_packed`.
+    """
+
+    def __init__(
+        self,
+        protocol: PopulationProtocol,
+        codec: StateCodec,
+        cache: EngineCache,
+    ):
+        self._protocol = protocol
+        self._codec = codec
+        self._cache = cache
+        self.pair_dict: Dict[int, int] = cache.pair_cache
+        #: Per-state-type capability cache: True when the type supports the
+        #: inlined copy()/as_tuple() fast path of :meth:`evaluate_packed`.
+        self._fast_types: Dict[type, bool] = {}
+        cache.ensure_probe_capacity(max(codec.size, 1))
+
+    def _is_fast_type(self, state_type: type) -> bool:
+        supported = self._fast_types.get(state_type)
+        if supported is None:
+            supported = hasattr(state_type, "copy") and hasattr(
+                state_type, "as_tuple"
+            )
+            self._fast_types[state_type] = supported
+        return supported
+
+    @property
+    def cached_pairs(self) -> int:
+        """Number of tabulated state pairs (diagnostics)."""
+        return len(self.pair_dict)
+
+    def evaluate_packed(self, key: int) -> int:
+        """Tabulate one state pair and return its packed outcome.
+
+        Functionally :func:`~repro.core.codec.evaluate_pair` plus packing,
+        but inlined against the codec internals: this is the dominant cost
+        of every run that explores new state pairs, so the wrapper layers
+        (dataclass result, per-field copies through generic helpers) are
+        flattened away.
+
+        Raises :class:`RandomnessConsumed` if the transition touches the
+        rng — the engine then demotes itself to the object path.
+        """
+        a = key >> _CODE_BITS
+        b = key & _CODE_MASK
+        codec = self._codec
+        prototypes = codec._prototypes
+        proto_a = prototypes[a]
+        proto_b = prototypes[b]
+        if self._is_fast_type(type(proto_a)) and self._is_fast_type(type(proto_b)):
+            interned = codec._codes
+            initiator = proto_a.copy()
+            responder = proto_b.copy()
+            result = self._protocol.transition(initiator, responder, RAISING_RNG)
+            next_a = interned.get((type(initiator), initiator.as_tuple()))
+            if next_a is None:
+                next_a = codec.encode(initiator)
+            next_b = interned.get((type(responder), responder.as_tuple()))
+            if next_b is None:
+                next_b = codec.encode(responder)
+        else:
+            # States without copy()/as_tuple() (plain dataclasses) take the
+            # generic, slightly slower path.
+            initiator = codec.materialize(a)
+            responder = codec.materialize(b)
+            result = self._protocol.transition(initiator, responder, RAISING_RNG)
+            next_a = codec.encode(initiator)
+            next_b = codec.encode(responder)
+        if codec.size > _MAX_CODES:
+            raise CodecError(
+                f"protocol {self._protocol.name} exceeded the array engine's "
+                f"{_MAX_CODES} distinct-state capacity"
+            )
+        rank = result.rank_assigned
+        if rank is None:
+            rank = 0
+        elif rank >= _MAX_RANK:
+            raise CodecError(
+                f"rank {rank} exceeds the array engine's packed-rank "
+                f"capacity ({_MAX_RANK - 1})"
+            )
+        packed = (
+            next_a
+            | (next_b << _CODE_BITS)
+            | (rank << _RANK_SHIFT)
+            | (_CHANGED_BIT if result.changed else 0)
+            | (_RESET_BIT if result.reset_triggered else 0)
+        )
+        self.pair_dict[key] = packed
+        table = self._cache.probe_classes
+        if a < table.shape[0] and b < table.shape[0]:
+            table[a, b] = _class_of(packed, a, b)
+        return packed
+
+    def probe_class(self, cu: np.ndarray, cv: np.ndarray) -> np.ndarray:
+        """Probe-class bytes for a batch of state pairs; unknown reads -1."""
+        table = self._cache.ensure_probe_capacity(self._codec.size)
+        cap = table.shape[0]
+        if self._codec.size <= cap:
+            # take() on the flattened table is measurably faster than 2-D
+            # fancy indexing, and this probe runs once per chunk.
+            return table.reshape(-1).take(cu * cap + cv)
+        # Codes beyond the table cap degrade to unknown (conservative).
+        in_range = (cu < cap) & (cv < cap)
+        classes = np.full(len(cu), -1, dtype=np.int8)
+        classes[in_range] = table[cu[in_range], cv[in_range]]
+        return classes
+
+
+class ArraySimulator:
+    """Drop-in fast engine with the :class:`Simulator` result contract.
+
+    Parameters
+    ----------
+    protocol:
+        The population protocol to run.  Transitions that are deterministic
+        given the two agent states get the tabulated fast paths; others run
+        on the object fallback path.
+    configuration:
+        Initial configuration; defaults to ``protocol.initial_configuration()``.
+    random_state:
+        Seed or generator.  With the same seed (and default chunk size) a
+        tabulated run reproduces the reference simulator's trajectory
+        exactly.
+    metrics:
+        Optional :class:`MetricsCollector`; snapshots are taken at exactly
+        the interactions the reference simulator would record.
+    convergence_interval:
+        How often (in interactions) to evaluate the convergence predicate.
+        Defaults to ``max(n, 4096)`` — the reference default of ``n`` would
+        force tiny processing blocks and an ``O(n)`` predicate evaluation
+        every ``n`` interactions, capping throughput regardless of the
+        kernel.  The coarser default inflates the recorded stopping time of
+        a ``Θ(n² log n)`` run by well under 1%; pass ``convergence_interval=n``
+        explicitly when exact same-seed stop parity with the reference is
+        required.
+    chunk_size:
+        Pairs sampled per generator call.  Must match the reference
+        scheduler's ``chunk_size`` (default 4096) for same-seed equality.
+    max_dense_states:
+        State budget for the eager dense-table attempt; protocols exceeding
+        it use the lazy kernel.
+    engine_mode:
+        Force ``"dense"``, ``"lazy"`` or ``"object"`` instead of the
+        automatic selection (used by tests; dense may legitimately fail with
+        :class:`StateSpaceTooLarge`).
+    cache:
+        Optional :class:`EngineCache` shared across simulators of
+        equivalent protocols.
+    """
+
+    def __init__(
+        self,
+        protocol: PopulationProtocol,
+        configuration: Optional[Configuration] = None,
+        random_state: RandomState = None,
+        metrics: Optional[MetricsCollector] = None,
+        convergence_interval: Optional[int] = None,
+        chunk_size: int = 4096,
+        max_dense_states: int = 64,
+        engine_mode: Optional[str] = None,
+        cache: Optional[EngineCache] = None,
+    ):
+        self._protocol = protocol
+        self._configuration = (
+            configuration if configuration is not None
+            else protocol.initial_configuration()
+        )
+        if self._configuration.population_size != protocol.n:
+            raise SimulationLimitExceeded(
+                f"configuration has {self._configuration.population_size} agents "
+                f"but protocol was built for n={protocol.n}"
+            )
+        self._n = protocol.n
+        self._scheduler = UniformPairScheduler(
+            protocol.n, random_state, chunk_size=chunk_size
+        )
+        self._chunk_size = chunk_size
+        self._metrics = metrics
+        self._convergence_interval = (
+            convergence_interval
+            if convergence_interval is not None
+            else max(protocol.n, 4096)
+        )
+        if self._convergence_interval < 1:
+            raise ValueError("convergence_interval must be positive")
+
+        self._interactions = 0
+        self._rank_assignments = 0
+        self._resets = 0
+        self._changed_since_check = True
+
+        # Pair buffer: refilled with sample_chunk(chunk_size) so the
+        # generator sees the exact call sequence of the reference scheduler.
+        self._pair_buffer = np.empty((0, 2), dtype=np.int64)
+        self._pair_cursor = 0
+
+        self._codec: Optional[StateCodec] = None
+        # Canonical per-agent codes: a Python list for the scalar walk, with
+        # a numpy mirror for the vectorized probes (kept in sync).
+        self._code_list: Optional[List[int]] = None
+        self._codes_np: Optional[np.ndarray] = None
+        self._kernel = None
+        self._cache = cache if cache is not None else EngineCache()
+        self._mode = self._select_mode(engine_mode, max_dense_states)
+
+    # ------------------------------------------------------------------
+    # Mode selection
+    # ------------------------------------------------------------------
+    def _select_mode(self, requested: Optional[str], max_dense_states: int) -> str:
+        if requested not in (None, "dense", "lazy", "object"):
+            raise ValueError(f"unknown engine_mode {requested!r}")
+        cache = self._cache
+        if requested == "object" or (requested is None and cache.mode == "object"):
+            return "object"
+        codec = cache.codec
+        try:
+            codes = codec.encode_many(self._configuration.states)
+        except CodecError:
+            if requested is not None:
+                raise
+            cache.mode = "object"
+            return "object"
+        self._codec = codec
+        self._codes_np = codes
+        self._code_list = codes.tolist()
+        if self._n >= _MAX_RANK:
+            if requested in ("dense", "lazy"):
+                raise CodecError(
+                    f"array engine table modes support n < {_MAX_RANK}, got {self._n}"
+                )
+            return "object"
+        if requested == "lazy":
+            self._kernel = _LazyKernel(self._protocol, codec, cache)
+            return "lazy"
+        if cache.mode is None or requested == "dense" or cache.mode == "dense":
+            try:
+                if (
+                    cache.dense_tables is None
+                    or cache.dense_tables.size < codec.size
+                ):
+                    # First compilation, or this configuration contains
+                    # states outside the closure a previous sharer
+                    # enumerated: recompile over the union so the tables
+                    # stay complete for every code the codec knows.
+                    cache.dense_tables = compile_dense_tables(
+                        self._protocol, codec, codes.tolist(),
+                        max_states=max_dense_states,
+                    )
+                cache.mode = "dense"
+                self._kernel = _DenseKernel(cache.dense_tables)
+                return "dense"
+            except StateSpaceTooLarge:
+                if requested == "dense":
+                    raise
+                cache.mode = "lazy"
+            except RandomnessConsumed:
+                if requested == "dense":
+                    raise
+                cache.mode = "object"
+                return "object"
+        self._kernel = _LazyKernel(self._protocol, codec, cache)
+        return "lazy"
+
+    def _demote_to_object(self, remaining_pairs=None) -> None:
+        """Switch to the object path mid-run (transition consumed randomness).
+
+        Already-retired no-ops changed nothing and the walk executes in
+        original order, so finishing the pending pairs on materialized
+        states is exactly the sequential semantics.
+        """
+        self._sync_configuration()
+        self._mode = "object"
+        self._kernel = None
+        self._cache.mode = "object"
+        if remaining_pairs:
+            self._apply_pairs_object(remaining_pairs)
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def protocol(self) -> PopulationProtocol:
+        """The protocol being simulated."""
+        return self._protocol
+
+    @property
+    def mode(self) -> str:
+        """The engine path in use: ``"dense"``, ``"lazy"`` or ``"object"``."""
+        return self._mode
+
+    @property
+    def codec(self) -> Optional[StateCodec]:
+        """The state codec (``None`` on the object path)."""
+        return self._codec
+
+    @property
+    def kernel(self):
+        """The active lookup kernel (``None`` on the object path)."""
+        return self._kernel
+
+    @property
+    def interactions(self) -> int:
+        """Number of interactions simulated so far."""
+        return self._interactions
+
+    @property
+    def rng(self):
+        """The generator shared by the scheduler (and object-path transitions)."""
+        return self._scheduler.rng
+
+    @property
+    def configuration(self) -> Configuration:
+        """The current configuration (synchronized from the code array)."""
+        self._sync_configuration()
+        return self._configuration
+
+    def _sync_configuration(self) -> None:
+        if self._mode != "object" and self._code_list is not None:
+            self._configuration.states[:] = self._codec.materialize_many(
+                self._code_list
+            )
+
+    def _view_configuration(self) -> Configuration:
+        """A read-only configuration view for predicates and probes.
+
+        On the table paths the view shares codec prototypes across agents,
+        so callers must not mutate the states (convergence predicates and
+        metric probes only read).
+        """
+        if self._mode == "object":
+            return self._configuration
+        return Configuration(self._codec.prototype_view(self._code_list))
+
+    def _check_converged(self) -> bool:
+        return self._protocol.has_converged(self._view_configuration())
+
+    # ------------------------------------------------------------------
+    # Pair supply
+    # ------------------------------------------------------------------
+    def _next_pairs(self, count: int) -> np.ndarray:
+        """Up to ``count`` pairs from the buffer (refilled in fixed chunks)."""
+        if self._pair_cursor >= len(self._pair_buffer):
+            self._pair_buffer = self._scheduler.sample_chunk(self._chunk_size)
+            self._pair_cursor = 0
+        take = min(count, len(self._pair_buffer) - self._pair_cursor)
+        view = self._pair_buffer[self._pair_cursor:self._pair_cursor + take]
+        self._pair_cursor += take
+        return view
+
+    # ------------------------------------------------------------------
+    # Core advancement
+    # ------------------------------------------------------------------
+    def _advance(self, count: int) -> None:
+        """Simulate exactly ``count`` further interactions."""
+        done = 0
+        while done < count:
+            if self._mode == "object":
+                self._advance_object(count - done)
+                return
+            pairs = self._next_pairs(count - done)
+            self._process_chunk(pairs)
+            done += len(pairs)
+
+    def _advance_object(self, count: int) -> None:
+        # Drain pairs the table path already sampled into the engine's
+        # buffer before drawing fresh ones: a mid-run demotion must consume
+        # the sampled sequence in order, or the trajectory would silently
+        # diverge from the generator's pair stream.
+        if self._pair_cursor < len(self._pair_buffer):
+            leftover = self._pair_buffer[self._pair_cursor:self._pair_cursor + count]
+            self._pair_cursor += len(leftover)
+            self._apply_pairs_object(leftover.tolist())
+            count -= len(leftover)
+            if count <= 0:
+                return
+        protocol = self._protocol
+        states = self._configuration.states
+        scheduler = self._scheduler
+        rng = scheduler.rng
+        sample = scheduler.sample
+        for _ in range(count):
+            i, j = sample()
+            result = protocol.transition(states[i], states[j], rng)
+            self._interactions += 1
+            if result.rank_assigned is not None:
+                self._rank_assignments += 1
+            if result.reset_triggered:
+                self._resets += 1
+            if result.changed:
+                self._changed_since_check = True
+
+    def _apply_pairs_object(self, pairs) -> None:
+        """Object-path execution of explicit pairs (mid-chunk demotion)."""
+        protocol = self._protocol
+        states = self._configuration.states
+        rng = self._scheduler.rng
+        for i, j in pairs:
+            result = protocol.transition(states[i], states[j], rng)
+            self._interactions += 1
+            if result.rank_assigned is not None:
+                self._rank_assignments += 1
+            if result.reset_triggered:
+                self._resets += 1
+            if result.changed:
+                self._changed_since_check = True
+
+    def _process_chunk(self, pairs: np.ndarray) -> None:
+        """Execute a chunk of pairs with exact sequential semantics.
+
+        Optimistic elimination with walk-time validation: the volatile set
+        is taken directly from the chunk probes (agents some pair currently
+        writes, plus both agents of every untabulated pair) with no
+        transitive closure.  Pairs touching no volatile agent are
+        *tentatively* retired, their statistics deferred; the ordered walk
+        over the rest verifies the assumption.  If a walked pair writes an
+        agent assumed stable — possible only when an operand written
+        earlier in the chunk flipped the pair's behavior — that agent joins
+        the volatile set and its later tentatively-retired pairs are merged
+        back into the walk at their original positions.  Retired pairs are
+        therefore exact no-ops: their operands provably kept their
+        chunk-start states for the whole chunk.
+        """
+        total = len(pairs)
+        agents_i = pairs[:, 0]
+        agents_r = pairs[:, 1]
+        codes_np = self._codes_np
+
+        # Probe the whole chunk against the current codes.  Unknown pairs
+        # are NOT tabulated here — their operands may still change before
+        # their turn; they read as "writes both agents" (all class bits set)
+        # and the walk resolves them against settled codes.
+        classes = self._kernel.probe_class(codes_np[agents_i], codes_np[agents_r])
+
+        volatile = np.zeros(self._n, dtype=bool)
+        volatile[agents_i[(classes & _CLS_WRITES_U) != 0]] = True
+        volatile[agents_r[(classes & _CLS_WRITES_V) != 0]] = True
+
+        # Flagged-but-writeless pairs (rank/reset/changed without a state
+        # change) are walked too, so their exact flags are counted; retired
+        # pairs therefore contribute no statistics at all.
+        walk_mask = volatile[agents_i] | volatile[agents_r]
+        walk_mask |= (classes & _CLS_FLAGGED) != 0
+        walk_count = int(np.count_nonzero(walk_mask))
+        if walk_count == 0:
+            self._interactions += total
+            return
+        if walk_count == total:
+            # Nothing retired, so no elimination to validate: take the
+            # simple in-order loop without the reactivation bookkeeping.
+            self._walk_all(agents_i.tolist(), agents_r.tolist())
+            return
+        safe = ~walk_mask
+        order_np = np.flatnonzero(walk_mask)
+        order = order_np.tolist()
+        w_i = agents_i[order_np].tolist()
+        w_r = agents_r[order_np].tolist()
+        in_v = volatile.tolist()
+
+        codes = self._code_list
+        pair_dict = self._kernel.pair_dict
+        get = pair_dict.get
+        evaluate = self._kernel.evaluate_packed
+        pending: Dict[int, int] = {}
+        walked = 0
+        ranks = 0
+        resets = 0
+        changed = False
+        demote_positions: Optional[List[int]] = None
+
+        # The walk lists may be re-built on violations, so iterate via an
+        # explicit index.
+        cursor = 0
+        try:
+            while cursor < len(order):
+                position = order[cursor]
+                i = w_i[cursor]
+                j = w_r[cursor]
+                cursor += 1
+                a = codes[i]
+                b = codes[j]
+                value = get((a << _CODE_BITS) | b)
+                if value is None:
+                    value = evaluate((a << _CODE_BITS) | b)
+                next_a = value & _CODE_MASK
+                if next_a != a:
+                    codes[i] = next_a
+                    pending[i] = next_a
+                    if not in_v[i]:
+                        merged = self._reactivate(
+                            i, position, order, cursor, safe, agents_i, agents_r
+                        )
+                        if merged is not None:
+                            order, w_i, w_r = merged
+                            cursor = 0
+                        in_v[i] = True
+                next_b = (value >> _CODE_BITS) & _CODE_MASK
+                if next_b != b:
+                    codes[j] = next_b
+                    pending[j] = next_b
+                    if not in_v[j]:
+                        merged = self._reactivate(
+                            j, position, order, cursor, safe, agents_i, agents_r
+                        )
+                        if merged is not None:
+                            order, w_i, w_r = merged
+                            cursor = 0
+                        in_v[j] = True
+                walked += 1
+                if value & _FLAG_FIELD:
+                    if value & _CHANGED_BIT:
+                        changed = True
+                    if value & _RANK_FIELD:
+                        ranks += 1
+                    if value & _RESET_BIT:
+                        resets += 1
+        except RandomnessConsumed:
+            # Hand the rest of the chunk to the object path in original
+            # order: the unfinished walk positions plus every
+            # not-yet-validated tentatively-safe pair after the current one.
+            position = order[cursor - 1]
+            tail = np.flatnonzero(safe)
+            remaining = sorted(
+                set(order[cursor - 1:]) | set(tail[tail > position].tolist())
+            )
+            # Safe pairs before the demotion point were validated by the
+            # walk so far: no non-volatile agent has changed yet, so they
+            # are exact (statistics-free) no-ops.
+            self._interactions += int(np.count_nonzero(tail <= position))
+            demote_positions = remaining
+
+        if pending:
+            self._codes_np[list(pending.keys())] = list(pending.values())
+        self._interactions += walked
+        self._rank_assignments += ranks
+        self._resets += resets
+        if changed:
+            self._changed_since_check = True
+
+        if demote_positions is not None:
+            remaining_np = np.asarray(demote_positions, dtype=np.int64)
+            self._demote_to_object(
+                np.stack(
+                    [agents_i[remaining_np], agents_r[remaining_np]], axis=1
+                ).tolist()
+            )
+            return
+
+        # Pairs still marked safe survived validation: exact no-ops.
+        self._interactions += int(np.count_nonzero(safe))
+
+    def _walk_all(self, ai: List[int], ar: List[int]) -> None:
+        """In-order walk of a whole chunk (nothing was retired).
+
+        Same semantics as the validated walk in :meth:`_process_chunk`, but
+        with no elimination to protect there is no reactivation bookkeeping,
+        which makes the per-interaction loop measurably tighter — this is
+        the hot path of the write-heavy early phase.
+        """
+        codes = self._code_list
+        pair_dict = self._kernel.pair_dict
+        evaluate = self._kernel.evaluate_packed
+        get = pair_dict.get
+        pending: Dict[int, int] = {}
+        walked = 0
+        ranks = 0
+        resets = 0
+        changed = False
+        demote_from: Optional[int] = None
+        try:
+            for i, j in zip(ai, ar):
+                a = codes[i]
+                b = codes[j]
+                value = get((a << _CODE_BITS) | b)
+                if value is None:
+                    value = evaluate((a << _CODE_BITS) | b)
+                next_a = value & _CODE_MASK
+                if next_a != a:
+                    codes[i] = next_a
+                    pending[i] = next_a
+                next_b = (value >> _CODE_BITS) & _CODE_MASK
+                if next_b != b:
+                    codes[j] = next_b
+                    pending[j] = next_b
+                walked += 1
+                if value & _FLAG_FIELD:
+                    if value & _CHANGED_BIT:
+                        changed = True
+                    if value & _RANK_FIELD:
+                        ranks += 1
+                    if value & _RESET_BIT:
+                        resets += 1
+        except RandomnessConsumed:
+            demote_from = walked
+        if pending:
+            self._codes_np[list(pending.keys())] = list(pending.values())
+        self._interactions += walked
+        self._rank_assignments += ranks
+        self._resets += resets
+        if changed:
+            self._changed_since_check = True
+        if demote_from is not None:
+            self._demote_to_object(
+                list(zip(ai[demote_from:], ar[demote_from:]))
+            )
+
+    def _reactivate(self, agent, position, order, cursor, safe, agents_i, agents_r):
+        """A walked pair wrote an agent assumed stable: re-walk its pairs.
+
+        Later tentatively-retired pairs touching ``agent`` get their probes
+        invalidated by this write, so they are merged back into the walk at
+        their original positions (pairs before ``position`` are unaffected:
+        the agent provably held its chunk-start state until now).  Returns
+        the rebuilt ``(order, walk_i, walk_r)`` tail to restart on, or
+        ``None`` when no retired pair is affected.
+        """
+        hits = np.flatnonzero(
+            ((agents_i == agent) | (agents_r == agent)) & safe
+        )
+        hits = hits[hits > position]
+        if not len(hits):
+            return None
+        safe[hits] = False
+        merged = sorted(order[cursor:] + hits.tolist())
+        merged_np = np.asarray(merged, dtype=np.int64)
+        # Restart iteration on the merged tail; already-walked pairs stay done.
+        return merged, agents_i[merged_np].tolist(), agents_r[merged_np].tolist()
+
+    # ------------------------------------------------------------------
+    # Simulator-compatible driving loop
+    # ------------------------------------------------------------------
+    def _split_at_metrics(self, target: int) -> int:
+        """Clip a block target so metric snapshots land on exact interactions."""
+        if self._metrics is None:
+            return target
+        due = self._metrics.next_due
+        if due <= self._interactions:
+            return self._interactions + 1
+        return min(target, due)
+
+    def run(
+        self,
+        max_interactions: int,
+        stop_on_convergence: bool = True,
+        raise_on_limit: bool = False,
+    ) -> SimulationResult:
+        """Run until convergence or until ``max_interactions`` is reached.
+
+        Mirrors :meth:`Simulator.run`: the convergence predicate is
+        evaluated every ``convergence_interval`` interactions, metric
+        snapshots are recorded on the collector's schedule, and the
+        resulting :class:`SimulationResult` has the same contract.
+        """
+        if max_interactions < 0:
+            raise ValueError("max_interactions must be non-negative")
+
+        if self._metrics is not None and self._interactions == 0:
+            self._metrics.record(0, self._view_configuration())
+
+        budget_end = self._interactions + max_interactions
+        converged = self._check_converged()
+        next_check = self._interactions + self._convergence_interval
+
+        while self._interactions < budget_end and not (converged and stop_on_convergence):
+            target = self._split_at_metrics(min(budget_end, next_check))
+            self._advance(target - self._interactions)
+            if self._metrics is not None:
+                self._metrics.maybe_record(
+                    self._interactions, self._view_configuration()
+                )
+            if self._interactions >= next_check:
+                if self._changed_since_check:
+                    converged = self._check_converged()
+                    self._changed_since_check = False
+                next_check = self._interactions + self._convergence_interval
+
+        converged = self._check_converged()
+        self._record_final_snapshot()
+        self._sync_configuration()
+        result = SimulationResult(
+            converged=converged,
+            interactions=self._interactions,
+            configuration=self._configuration,
+            metrics=self._metrics.series if self._metrics is not None else {},
+            rank_assignments=self._rank_assignments,
+            resets=self._resets,
+            protocol=self._protocol.describe(),
+        )
+        if raise_on_limit and not converged:
+            raise SimulationLimitExceeded(
+                f"{self._protocol.name} did not converge within "
+                f"{self._interactions} interactions",
+                result=result,
+            )
+        return result
+
+    def run_until(
+        self,
+        predicate: Callable[[Configuration], bool],
+        max_interactions: int,
+        check_interval: Optional[int] = None,
+    ) -> SimulationResult:
+        """Run until ``predicate(configuration)`` holds (checked periodically)."""
+        if check_interval is None:
+            check_interval = max(1, self._protocol.n // 4)
+        budget_end = self._interactions + max_interactions
+        satisfied = predicate(self._view_configuration())
+        while not satisfied and self._interactions < budget_end:
+            target = min(self._interactions + check_interval, budget_end)
+            while self._interactions < target:
+                sub_target = self._split_at_metrics(target)
+                self._advance(sub_target - self._interactions)
+                if self._metrics is not None:
+                    self._metrics.maybe_record(
+                        self._interactions, self._view_configuration()
+                    )
+            satisfied = predicate(self._view_configuration())
+        self._record_final_snapshot()
+        self._sync_configuration()
+        return SimulationResult(
+            converged=satisfied,
+            interactions=self._interactions,
+            configuration=self._configuration,
+            metrics=self._metrics.series if self._metrics is not None else {},
+            rank_assignments=self._rank_assignments,
+            resets=self._resets,
+            protocol=self._protocol.describe(),
+        )
+
+    def _record_final_snapshot(self) -> None:
+        """Close metric series at the final interaction (like the reference)."""
+        if self._metrics is None:
+            return
+        for series in self._metrics.series.values():
+            if series.interactions and series.interactions[-1] == self._interactions:
+                return
+            break
+        self._metrics.record(self._interactions, self._view_configuration())
+
+
+def make_simulator(
+    protocol: PopulationProtocol,
+    engine: str = "reference",
+    **kwargs,
+):
+    """Build a simulator for ``protocol`` by engine name.
+
+    ``engine="reference"`` returns the agent-level :class:`Simulator`,
+    ``engine="array"`` the vectorized :class:`ArraySimulator`.  Both accept
+    the shared keyword arguments (``configuration``, ``random_state``,
+    ``metrics``, ``convergence_interval``).
+    """
+    if engine == "reference":
+        return Simulator(protocol, **kwargs)
+    if engine == "array":
+        return ArraySimulator(protocol, **kwargs)
+    raise ValueError(
+        f"unknown engine {engine!r}; expected one of {ENGINE_NAMES}"
+    )

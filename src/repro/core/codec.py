@@ -1,0 +1,313 @@
+"""State codecs: dense integer codes for protocol state spaces.
+
+The paper's protocols use only ``n + Θ(log n)`` (Theorem 1) respectively
+``n + O(log² n)`` (Theorem 2) states, so an agent's state can be represented
+by a small integer instead of a Python object.  :class:`StateCodec` maintains
+that mapping: it interns every distinct state value it sees, hands out dense
+codes ``0, 1, 2, …`` and can materialize fresh state objects back from codes.
+The array engine (:mod:`repro.core.array_engine`) stores a population as a
+numpy array of codes and simulates interactions with table lookups instead of
+Python-level transition calls.
+
+Two compilation strategies are built on top of the codec:
+
+* :func:`enumerate_reachable_states` computes the closure of a set of start
+  codes under the protocol's transition function by evaluating every ordered
+  pair of known states.  For protocols with a genuinely small concrete state
+  space (the one-way epidemic has 4) this terminates quickly and
+  :func:`compile_dense_tables` materializes complete ``(S × S)`` numpy lookup
+  tables.  The budget ``max_states`` bounds the attempt; protocols whose
+  concrete space is large — ``StableRanking``'s counters span
+  ``Θ(log² n)`` values with large constants — raise
+  :class:`~repro.core.errors.StateSpaceTooLarge` and are handled lazily by
+  the engine instead.
+* :func:`evaluate_pair` tabulates a single ordered state pair on scratch
+  copies.  It drives both the eager enumeration above and the engine's lazy
+  kernel path, and passes a *raising* rng probe to the transition: a protocol
+  that consumes randomness inside ``transition`` (the GS leader-election
+  substrate draws random tags) cannot be tabulated at all, and the resulting
+  :class:`~repro.core.errors.RandomnessConsumed` tells the engine to fall
+  back to the object path.
+
+Tabulation calls ``protocol.transition`` on scratch states, so protocol-level
+*diagnostic* counters (e.g. ``PropagateReset.triggered_count``) include the
+tabulation probes.  The simulation-level counters reported in
+``SimulationResult`` are derived from the tables and are unaffected.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Sequence, Tuple
+
+import numpy as np
+
+from .errors import CodecError, RandomnessConsumed, StateSpaceTooLarge
+from .protocol import PopulationProtocol
+
+__all__ = [
+    "StateCodec",
+    "DenseTransitionTables",
+    "PairOutcome",
+    "enumerate_reachable_states",
+    "compile_dense_tables",
+    "evaluate_pair",
+]
+
+
+class _RaisingRng:
+    """Stand-in generator that flags any attempt to consume randomness.
+
+    Passed to ``protocol.transition`` during tabulation.  Deterministic
+    transitions never touch the generator; any attribute access (``integers``,
+    ``random``, …) aborts the tabulation with :class:`RandomnessConsumed`.
+    """
+
+    __slots__ = ()
+
+    def __getattr__(self, name: str):
+        raise RandomnessConsumed(
+            f"transition consumed randomness (accessed rng.{name}); "
+            "state pairs of this protocol cannot be cached in a table"
+        )
+
+
+#: Shared probe instance (stateless).
+RAISING_RNG = _RaisingRng()
+
+
+def _state_key(state: object) -> tuple:
+    """Hashable identity of a state value.
+
+    States either expose ``as_tuple()`` (the reference
+    :class:`~repro.core.state.AgentState`) or are dataclasses (e.g.
+    ``EpidemicState``); the key includes the concrete type so two state
+    classes with coincidentally equal field tuples never collide.
+    """
+    as_tuple = getattr(state, "as_tuple", None)
+    if as_tuple is not None:
+        return (type(state), as_tuple())
+    if dataclasses.is_dataclass(state):
+        return (
+            type(state),
+            tuple(getattr(state, f.name) for f in dataclasses.fields(state)),
+        )
+    raise CodecError(
+        f"cannot derive a state key for {type(state).__name__}: states must "
+        "provide as_tuple() or be dataclasses"
+    )
+
+
+def _copy_state(state):
+    """Independent copy of a state (``copy()`` method, or dataclass replace)."""
+    copier = getattr(state, "copy", None)
+    if copier is not None:
+        return copier()
+    if dataclasses.is_dataclass(state):
+        return dataclasses.replace(state)
+    raise CodecError(
+        f"cannot copy state of type {type(state).__name__}: states must "
+        "provide copy() or be dataclasses"
+    )
+
+
+class StateCodec:
+    """Bidirectional mapping between state objects and dense integer codes.
+
+    Codes are assigned in first-seen order, starting at 0.  The codec keeps a
+    *prototype* object per code: an immutable-by-convention snapshot used for
+    read-only predicates (convergence checks share prototypes across agents)
+    and as the template for :meth:`materialize`.
+    """
+
+    __slots__ = ("_codes", "_prototypes")
+
+    def __init__(self):
+        self._codes: Dict[tuple, int] = {}
+        self._prototypes: List[object] = []
+
+    def __len__(self) -> int:
+        return len(self._prototypes)
+
+    @property
+    def size(self) -> int:
+        """Number of distinct states interned so far."""
+        return len(self._prototypes)
+
+    def encode(self, state: object) -> int:
+        """Return the code of ``state``, interning it if unseen.
+
+        The codec stores a private copy, so callers may keep mutating the
+        passed object.
+        """
+        key = _state_key(state)
+        code = self._codes.get(key)
+        if code is None:
+            code = len(self._prototypes)
+            self._codes[key] = code
+            self._prototypes.append(_copy_state(state))
+        return code
+
+    def encode_many(self, states: Iterable[object]) -> np.ndarray:
+        """Encode an iterable of states into an int64 code array."""
+        return np.fromiter(
+            (self.encode(state) for state in states), dtype=np.int64
+        )
+
+    def prototype(self, code: int) -> object:
+        """The shared prototype for ``code`` — treat as read-only."""
+        return self._prototypes[code]
+
+    def materialize(self, code: int) -> object:
+        """A fresh, independently mutable state object for ``code``."""
+        return _copy_state(self._prototypes[code])
+
+    def materialize_many(self, codes: Sequence[int]) -> List[object]:
+        """Fresh state objects for a sequence of codes (e.g. a population)."""
+        prototypes = self._prototypes
+        return [_copy_state(prototypes[code]) for code in codes]
+
+    def prototype_view(self, codes: Sequence[int]) -> List[object]:
+        """Shared prototypes for a sequence of codes (read-only views).
+
+        Suitable for predicates that only *read* agent state (convergence
+        checks, metric probes); the same prototype object may appear multiple
+        times in the returned list.
+        """
+        prototypes = self._prototypes
+        return [prototypes[code] for code in codes]
+
+
+@dataclass(frozen=True)
+class PairOutcome:
+    """Tabulated result of one ordered interaction ``(a, b) → (a', b')``."""
+
+    next_initiator: int
+    next_responder: int
+    changed: bool
+    rank_assigned: int  # 0 when no rank was assigned
+    reset_triggered: bool
+
+
+def evaluate_pair(
+    protocol: PopulationProtocol, codec: StateCodec, a: int, b: int
+) -> PairOutcome:
+    """Tabulate the transition for the ordered state pair ``(a, b)``.
+
+    Runs the protocol's transition on scratch copies of the two prototypes
+    and interns the successor states.  Raises
+    :class:`~repro.core.errors.RandomnessConsumed` if the transition touches
+    the rng — such pairs must not be cached.
+    """
+    initiator = codec.materialize(a)
+    responder = codec.materialize(b)
+    result = protocol.transition(initiator, responder, RAISING_RNG)
+    rank = result.rank_assigned
+    return PairOutcome(
+        next_initiator=codec.encode(initiator),
+        next_responder=codec.encode(responder),
+        changed=bool(result.changed),
+        rank_assigned=0 if rank is None else int(rank),
+        reset_triggered=bool(result.reset_triggered),
+    )
+
+
+def enumerate_reachable_states(
+    protocol: PopulationProtocol,
+    codec: StateCodec,
+    start_codes: Iterable[int],
+    max_states: int,
+) -> Dict[Tuple[int, int], PairOutcome]:
+    """Close ``start_codes`` under the transition function.
+
+    Evaluates every ordered pair of known states (two distinct agents may
+    hold the same state, so ``(a, a)`` pairs are included) until no new state
+    appears.  The pair set of any reachable configuration is a subset of the
+    pairs of individually reachable states, so this closure over-approximates
+    every trajectory.
+
+    Returns the full pair→outcome map; raises
+    :class:`~repro.core.errors.StateSpaceTooLarge` when more than
+    ``max_states`` states are discovered, and
+    :class:`~repro.core.errors.RandomnessConsumed` for protocols whose
+    transition consumes randomness.
+    """
+    list(start_codes)  # materialize side effects if a generator was passed
+    outcomes: Dict[Tuple[int, int], PairOutcome] = {}
+    while True:
+        size = codec.size
+        if size > max_states:
+            raise StateSpaceTooLarge(
+                f"{protocol.name}: state enumeration exceeded "
+                f"max_states={max_states} ({size} states found)"
+            )
+        new_pairs = [
+            (a, b)
+            for a in range(size)
+            for b in range(size)
+            if (a, b) not in outcomes
+        ]
+        if not new_pairs:
+            return outcomes
+        for a, b in new_pairs:
+            outcomes[(a, b)] = evaluate_pair(protocol, codec, a, b)
+            if codec.size > max_states:
+                raise StateSpaceTooLarge(
+                    f"{protocol.name}: state enumeration exceeded "
+                    f"max_states={max_states}"
+                )
+
+
+@dataclass
+class DenseTransitionTables:
+    """Complete ``(S × S)`` numpy lookup tables for a tabulated protocol.
+
+    ``next_initiator[a, b]`` / ``next_responder[a, b]`` are the successor
+    codes of the ordered interaction ``(a, b)``; ``changed``, ``rank``
+    (0 = no rank assigned) and ``reset`` mirror
+    :class:`~repro.core.protocol.TransitionResult`.
+    """
+
+    next_initiator: np.ndarray
+    next_responder: np.ndarray
+    changed: np.ndarray
+    rank: np.ndarray
+    reset: np.ndarray
+
+    @property
+    def size(self) -> int:
+        """Number of states ``S`` covered by the tables."""
+        return self.next_initiator.shape[0]
+
+
+def compile_dense_tables(
+    protocol: PopulationProtocol,
+    codec: StateCodec,
+    start_codes: Iterable[int],
+    max_states: int = 128,
+) -> DenseTransitionTables:
+    """Enumerate the reachable state space and materialize dense tables.
+
+    Intended for protocols whose concrete state space is genuinely small
+    (one-way epidemics, two-state approximate-majority-style protocols, …).
+    Raises :class:`StateSpaceTooLarge` / :class:`RandomnessConsumed` exactly
+    like :func:`enumerate_reachable_states`; the array engine catches both
+    and degrades gracefully.
+    """
+    outcomes = enumerate_reachable_states(protocol, codec, start_codes, max_states)
+    size = codec.size
+    tables = DenseTransitionTables(
+        next_initiator=np.empty((size, size), dtype=np.int64),
+        next_responder=np.empty((size, size), dtype=np.int64),
+        changed=np.zeros((size, size), dtype=bool),
+        rank=np.zeros((size, size), dtype=np.int64),
+        reset=np.zeros((size, size), dtype=bool),
+    )
+    for (a, b), outcome in outcomes.items():
+        tables.next_initiator[a, b] = outcome.next_initiator
+        tables.next_responder[a, b] = outcome.next_responder
+        tables.changed[a, b] = outcome.changed
+        tables.rank[a, b] = outcome.rank_assigned
+        tables.reset[a, b] = outcome.reset_triggered
+    return tables

@@ -42,6 +42,33 @@ class SimulationLimitExceeded(ReproError):
         self.result = result
 
 
+class CodecError(ReproError):
+    """A state could not be encoded into a dense integer code.
+
+    Raised when a protocol's state objects expose neither ``as_tuple()`` nor
+    dataclass fields, or when a state-space enumeration exceeds its budget
+    (see :class:`StateSpaceTooLarge`).
+    """
+
+
+class StateSpaceTooLarge(CodecError):
+    """A state-space enumeration exceeded its ``max_states`` budget.
+
+    The array engine catches this to fall back from the precompiled dense
+    transition tables to the lazily tabulated kernel path.
+    """
+
+
+class RandomnessConsumed(ReproError):
+    """A transition consumed randomness while being tabulated.
+
+    Transition tables cache ``(state, state) → (state', state'')`` pairs, which
+    is only sound for transitions that are deterministic given the two input
+    states.  The array engine catches this to fall back to the object path,
+    which passes a real generator through to the protocol.
+    """
+
+
 class AnalysisError(ReproError):
     """An analysis routine received data it cannot process."""
 

@@ -75,6 +75,16 @@ class MetricsCollector:
         return self._interval
 
     @property
+    def next_due(self) -> int:
+        """The next interaction count at which a snapshot is due.
+
+        Chunked engines use this to split their batches so snapshots land on
+        exactly the interactions the per-step ``maybe_record`` protocol of
+        the reference simulator would record.
+        """
+        return self._next_due
+
+    @property
     def series(self) -> Dict[str, TimeSeries]:
         """The recorded time series keyed by probe name."""
         return self._series

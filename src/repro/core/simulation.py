@@ -183,20 +183,39 @@ class Simulator:
         if max_interactions < 0:
             raise ValueError("max_interactions must be non-negative")
 
-        if self._metrics is not None and self._interactions == 0:
-            self._metrics.record(0, self._configuration)
+        metrics = self._metrics
+        if metrics is not None and self._interactions == 0:
+            metrics.record(0, self._configuration)
 
         budget_end = self._interactions + max_interactions
         converged = self._protocol.has_converged(self._configuration)
         next_check = self._interactions + self._convergence_interval
 
-        while self._interactions < budget_end and not (converged and stop_on_convergence):
-            self.step()
-            if self._metrics is not None:
-                self._metrics.maybe_record(self._interactions, self._configuration)
-            if self._interactions >= next_check:
-                converged = self._protocol.has_converged(self._configuration)
-                next_check = self._interactions + self._convergence_interval
+        # ``changed_since_check`` lets the loop skip the O(n) convergence
+        # re-evaluation when no transition reported a change since the last
+        # check — the predicate's value cannot have moved.  The metrics
+        # branch is hoisted out of the loop: collectors are rare and the
+        # per-step ``is not None`` test is measurable at this call volume.
+        changed_since_check = True
+        if metrics is None:
+            while self._interactions < budget_end and not (converged and stop_on_convergence):
+                if self.step().changed:
+                    changed_since_check = True
+                if self._interactions >= next_check:
+                    if changed_since_check:
+                        converged = self._protocol.has_converged(self._configuration)
+                        changed_since_check = False
+                    next_check = self._interactions + self._convergence_interval
+        else:
+            while self._interactions < budget_end and not (converged and stop_on_convergence):
+                if self.step().changed:
+                    changed_since_check = True
+                metrics.maybe_record(self._interactions, self._configuration)
+                if self._interactions >= next_check:
+                    if changed_since_check:
+                        converged = self._protocol.has_converged(self._configuration)
+                        changed_since_check = False
+                    next_check = self._interactions + self._convergence_interval
 
         converged = self._protocol.has_converged(self._configuration)
         self._record_final_snapshot()
@@ -242,12 +261,16 @@ class Simulator:
             check_interval = max(1, self._protocol.n // 4)
         budget_end = self._interactions + max_interactions
         satisfied = predicate(self._configuration)
+        metrics = self._metrics
         while not satisfied and self._interactions < budget_end:
             target = min(self._interactions + check_interval, budget_end)
-            while self._interactions < target:
-                self.step()
-                if self._metrics is not None:
-                    self._metrics.maybe_record(self._interactions, self._configuration)
+            if metrics is None:
+                while self._interactions < target:
+                    self.step()
+            else:
+                while self._interactions < target:
+                    self.step()
+                    metrics.maybe_record(self._interactions, self._configuration)
             satisfied = predicate(self._configuration)
         self._record_final_snapshot()
         return SimulationResult(

@@ -20,7 +20,7 @@ checked by helpers instead of being baked into the data structure.
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass, field, fields, replace
+from dataclasses import dataclass
 from typing import Optional
 
 __all__ = [
@@ -113,13 +113,44 @@ class AgentState:
     # ------------------------------------------------------------------
     # Copying and equality helpers
     # ------------------------------------------------------------------
+    # Both helpers are hand-rolled rather than built on dataclasses.replace /
+    # dataclasses.fields: the array engine's transition tabulation calls them
+    # for every cache miss, and the generic versions cost ~10x as much.
     def copy(self) -> "AgentState":
         """Return an independent copy of this state."""
-        return replace(self)
+        return AgentState(
+            self.rank,
+            self.phase,
+            self.wait_count,
+            self.coin,
+            self.alive_count,
+            self.reset_count,
+            self.delay_count,
+            self.is_leader,
+            self.leader_done,
+            self.le_count,
+            self.coin_count,
+            self.le_level,
+            self.aux,
+        )
 
     def as_tuple(self) -> tuple:
         """Return the state as a hashable tuple (field order is fixed)."""
-        return tuple(getattr(self, f.name) for f in fields(self))
+        return (
+            self.rank,
+            self.phase,
+            self.wait_count,
+            self.coin,
+            self.alive_count,
+            self.reset_count,
+            self.delay_count,
+            self.is_leader,
+            self.leader_done,
+            self.le_count,
+            self.coin_count,
+            self.le_level,
+            self.aux,
+        )
 
     # ------------------------------------------------------------------
     # Queries used throughout the protocols
@@ -192,8 +223,18 @@ class AgentState:
         except the synthetic coin; this helper centralizes that operation.
         """
         coin = self.coin if keep_coin else None
-        for f in fields(self):
-            setattr(self, f.name, None)
+        self.rank = None
+        self.phase = None
+        self.wait_count = None
+        self.alive_count = None
+        self.reset_count = None
+        self.delay_count = None
+        self.is_leader = None
+        self.leader_done = None
+        self.le_count = None
+        self.coin_count = None
+        self.le_level = None
+        self.aux = None
         self.coin = coin
 
     def clear_leader_election(self) -> None:

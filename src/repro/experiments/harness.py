@@ -15,6 +15,7 @@ from typing import Callable, Dict, List, Optional, Sequence
 
 import numpy as np
 
+from ..core.array_engine import ENGINE_NAMES, ArraySimulator, EngineCache
 from ..core.configuration import Configuration
 from ..core.errors import ExperimentError
 from ..core.protocol import PopulationProtocol
@@ -104,6 +105,14 @@ class ExperimentRunner:
         Interaction budget per run.
     random_state:
         Master seed; per-run seeds are spawned deterministically from it.
+    engine:
+        ``"reference"`` (the agent-level :class:`Simulator`, default) or
+        ``"array"`` (the vectorized
+        :class:`~repro.core.array_engine.ArraySimulator`).  The array engine
+        shares one :class:`~repro.core.array_engine.EngineCache` across the
+        repetitions — sound because the factory builds identically
+        parameterized protocols — so the transition tabulation is paid once
+        per sweep instead of once per run.
     """
 
     def __init__(
@@ -112,15 +121,37 @@ class ExperimentRunner:
         configuration_factory: Optional[ConfigurationFactory] = None,
         max_interactions: int = 10_000_000,
         random_state: RandomState = 0,
+        engine: str = "reference",
     ):
         if max_interactions < 1:
             raise ExperimentError("max_interactions must be positive")
+        if engine not in ENGINE_NAMES:
+            raise ExperimentError(
+                f"unknown engine {engine!r}; expected one of {ENGINE_NAMES}"
+            )
         self._protocol_factory = protocol_factory
         self._configuration_factory = configuration_factory or (
             lambda protocol: protocol.initial_configuration()
         )
         self._max_interactions = max_interactions
         self._random_state = random_state
+        self._engine = engine
+        self._engine_cache = EngineCache() if engine == "array" else None
+
+    @property
+    def engine(self) -> str:
+        """The simulation engine used for the runs."""
+        return self._engine
+
+    def _build_simulator(self, protocol, configuration, rng):
+        if self._engine == "array":
+            return ArraySimulator(
+                protocol,
+                configuration=configuration,
+                random_state=rng,
+                cache=self._engine_cache,
+            )
+        return Simulator(protocol, configuration=configuration, random_state=rng)
 
     def run(
         self,
@@ -136,10 +167,8 @@ class ExperimentRunner:
         for index, seed in enumerate(seeds):
             protocol = self._protocol_factory()
             configuration = self._configuration_factory(protocol)
-            simulator = Simulator(
-                protocol,
-                configuration=configuration,
-                random_state=np.random.default_rng(seed),
+            simulator = self._build_simulator(
+                protocol, configuration, np.random.default_rng(seed)
             )
             result = simulator.run(
                 max_interactions=self._max_interactions,
@@ -172,10 +201,8 @@ class ExperimentRunner:
         for index, seed in enumerate(seeds):
             protocol = self._protocol_factory()
             configuration = self._configuration_factory(protocol)
-            simulator = Simulator(
-                protocol,
-                configuration=configuration,
-                random_state=np.random.default_rng(seed),
+            simulator = self._build_simulator(
+                protocol, configuration, np.random.default_rng(seed)
             )
             result = simulator.run_until(
                 predicate, max_interactions=self._max_interactions

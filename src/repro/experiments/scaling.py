@@ -22,6 +22,7 @@ import numpy as np
 
 from ..analysis.statistics import summarize
 from ..analysis.theory import normalized_stabilization_time
+from ..core.array_engine import ArraySimulator, EngineCache
 from ..core.errors import ExperimentError
 from ..core.rng import RandomState, spawn_seeds
 from ..core.simulation import Simulator
@@ -73,8 +74,17 @@ def run_scaling(
     c_wait: float = 2.0,
     random_state: RandomState = 0,
 ) -> ScalingResult:
-    """Measure full stabilization times across population sizes."""
-    if engine not in ("aggregate", "reference"):
+    """Measure full stabilization times across population sizes.
+
+    ``engine`` selects how each run is simulated: ``"aggregate"`` (the exact
+    event-driven engine, fastest and the paper-scale default),
+    ``"reference"`` (the agent-level simulator) or ``"array"`` (the
+    vectorized :class:`~repro.core.array_engine.ArraySimulator`; for
+    ``SpaceEfficientRanking`` its GS leader-election substrate consumes
+    randomness, so the array engine runs on its object fallback path — it
+    is exposed here for cross-engine validation rather than speed).
+    """
+    if engine not in ("aggregate", "reference", "array"):
         raise ExperimentError(f"unknown engine {engine!r}")
     if repetitions < 1:
         raise ExperimentError("repetitions must be positive")
@@ -84,6 +94,7 @@ def run_scaling(
     for n in n_values:
         seeds = spawn_seeds((hash((int(n), str(random_state), "scaling")) & 0x7FFFFFFF), repetitions)
         times: List[int] = []
+        engine_cache = EngineCache() if engine == "array" else None
         for seed in seeds:
             rng = np.random.default_rng(seed)
             if engine == "aggregate":
@@ -91,16 +102,18 @@ def run_scaling(
                     n, c_wait=c_wait, random_state=rng
                 )
                 outcome = simulator.run(max_interactions=10**15)
-                if not outcome.converged:
-                    raise ExperimentError(f"scaling run for n={n} did not stabilize")
-                times.append(outcome.interactions)
             else:
                 protocol = SpaceEfficientRanking(n, c_wait=c_wait)
-                simulator = Simulator(protocol, random_state=rng)
+                if engine == "array":
+                    simulator = ArraySimulator(
+                        protocol, random_state=rng, cache=engine_cache
+                    )
+                else:
+                    simulator = Simulator(protocol, random_state=rng)
                 outcome = simulator.run(max_interactions=2000 * n * n)
-                if not outcome.converged:
-                    raise ExperimentError(f"scaling run for n={n} did not stabilize")
-                times.append(outcome.interactions)
+            if not outcome.converged:
+                raise ExperimentError(f"scaling run for n={n} did not stabilize")
+            times.append(outcome.interactions)
         result.interactions[n] = times
     return result
 

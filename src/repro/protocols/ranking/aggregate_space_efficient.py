@@ -28,6 +28,12 @@ validated to be statistically irrelevant by the test suite, see DESIGN.md):
   duplicate rank to a phase agent whose phase lags several phases behind is
   not modeled (it requires an unconverted agent to survive ``Θ(n²)``
   interactions, while conversion completes within ``O(n log n)`` w.h.p.).
+  Concretely, assignment events are only offered while the candidate rank
+  ``f_{k+1} + leader_rank`` is still unassigned; a leader meeting a lagging
+  phase agent after that rank was handed out is treated as a no-op instead
+  of producing an unrepresentable duplicate.  Without this gate the
+  duplicate would be silently merged into the assigned-rank set and an
+  agent would vanish from the aggregate bookkeeping.
 """
 
 from __future__ import annotations
@@ -137,7 +143,11 @@ class AggregateSpaceEfficientRanking(EventDrivenSimulator):
         if self._leader_mode == "rank":
             rank = self._leader_rank
             for phase, count in phase_counts.items():
-                if phase <= schedule.phase_count and 1 <= rank <= schedule.ranks_per_phase(phase):
+                if (
+                    phase <= schedule.phase_count
+                    and 1 <= rank <= schedule.ranks_per_phase(phase)
+                    and schedule.f(phase + 1) + rank not in self._assigned
+                ):
                     weights[f"assign:{phase}"] = count
             if unconverted:
                 weights["convert_by_leader"] = unconverted
@@ -233,9 +243,13 @@ class AggregateSpaceEfficientRanking(EventDrivenSimulator):
     def _apply_assignment(self, phase: int) -> None:
         """The unaware leader assigns the next rank of ``phase`` (lines 4-9)."""
         schedule = self._schedule
-        self._remove_phase_agent(phase)
         boundary = schedule.ranks_per_phase(phase)
         assigned_rank = schedule.f(phase + 1) + self._leader_rank
+        if assigned_rank in self._assigned:  # pragma: no cover - guarded by event_weights
+            raise ConfigurationError(
+                f"rank {assigned_rank} would be assigned twice (phase {phase})"
+            )
+        self._remove_phase_agent(phase)
         self._assigned.add(assigned_rank)
         if self._leader_rank < boundary:
             self._leader_rank += 1
@@ -255,7 +269,7 @@ class AggregateSpaceEfficientRanking(EventDrivenSimulator):
         schedule = self._schedule
         boundary = schedule.ranks_per_phase(1)
         rank = self._leader_rank
-        if 1 <= rank <= boundary:
+        if 1 <= rank <= boundary and schedule.f(2) + rank not in self._assigned:
             self._assigned.add(schedule.f(2) + rank)
             if rank < boundary:
                 self._leader_rank += 1

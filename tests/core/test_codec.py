@@ -1,0 +1,187 @@
+"""Unit tests for the state codec and the dense transition compiler."""
+
+import numpy as np
+import pytest
+
+from repro.core.codec import (
+    RAISING_RNG,
+    StateCodec,
+    compile_dense_tables,
+    enumerate_reachable_states,
+    evaluate_pair,
+)
+from repro.core.errors import CodecError, RandomnessConsumed, StateSpaceTooLarge
+from repro.core.state import AgentState
+from repro.protocols.leader_election.gs_leader_election import GSLeaderElectionProtocol
+from repro.protocols.primitives.one_way_epidemic import (
+    EpidemicState,
+    OneWayEpidemicProtocol,
+)
+from repro.protocols.ranking.stable_ranking import StableRanking
+
+
+class TestAgentStateHelperParity:
+    """The hand-rolled AgentState helpers must track the dataclass fields.
+
+    ``copy``/``as_tuple``/``clear`` enumerate the 13 fields explicitly for
+    speed (they are the inner loop of transition tabulation); if a field is
+    ever added without updating them, the codec would silently conflate
+    distinct states.  This guard turns that silent corruption into a test
+    failure.
+    """
+
+    def test_as_tuple_covers_every_field_in_order(self):
+        import dataclasses
+
+        state = AgentState()
+        field_names = [f.name for f in dataclasses.fields(AgentState)]
+        sentinel_values = list(range(1, len(field_names) + 1))
+        for name, value in zip(field_names, sentinel_values):
+            setattr(state, name, value)
+        assert list(state.as_tuple()) == sentinel_values
+
+    def test_copy_covers_every_field(self):
+        import dataclasses
+
+        state = AgentState()
+        for index, f in enumerate(dataclasses.fields(AgentState)):
+            setattr(state, f.name, index + 1)
+        duplicate = state.copy()
+        assert duplicate.as_tuple() == state.as_tuple()
+        assert duplicate is not state
+
+    def test_clear_resets_every_field(self):
+        import dataclasses
+
+        state = AgentState()
+        for index, f in enumerate(dataclasses.fields(AgentState)):
+            setattr(state, f.name, index + 1)
+        state.clear()
+        assert all(value is None for value in state.as_tuple())
+
+
+class TestStateCodecRoundTrip:
+    def test_encode_decode_is_identity_for_agent_states(self):
+        codec = StateCodec()
+        states = [
+            AgentState(),
+            AgentState(rank=3),
+            AgentState(phase=2, coin=1, alive_count=7),
+            AgentState(reset_count=4, delay_count=9, coin=0),
+            AgentState(is_leader=1, leader_done=0, le_count=12, coin_count=3),
+        ]
+        for state in states:
+            code = codec.encode(state)
+            assert codec.materialize(code).as_tuple() == state.as_tuple()
+
+    def test_encode_decode_is_identity_over_enumerated_space(self):
+        protocol = OneWayEpidemicProtocol(8)
+        codec = StateCodec()
+        start = [codec.encode(s) for s in protocol.initial_configuration().states]
+        enumerate_reachable_states(protocol, codec, start, max_states=16)
+        for code in range(codec.size):
+            state = codec.materialize(code)
+            assert codec.encode(state) == code
+
+    def test_equal_states_share_a_code(self):
+        codec = StateCodec()
+        assert codec.encode(AgentState(rank=5)) == codec.encode(AgentState(rank=5))
+        assert codec.encode(AgentState(rank=6)) != codec.encode(AgentState(rank=5))
+
+    def test_codec_copies_are_independent(self):
+        codec = StateCodec()
+        original = AgentState(rank=1)
+        code = codec.encode(original)
+        original.rank = 99  # mutating the caller's object must not leak
+        assert codec.materialize(code).rank == 1
+        materialized = codec.materialize(code)
+        materialized.rank = 42
+        assert codec.prototype(code).rank == 1
+
+    def test_encode_many_and_prototype_view(self):
+        codec = StateCodec()
+        states = [AgentState(rank=r) for r in (1, 2, 1, 3)]
+        codes = codec.encode_many(states)
+        assert codes.tolist() == [0, 1, 0, 2]
+        view = codec.prototype_view(codes.tolist())
+        assert view[0] is view[2]  # shared prototypes for equal states
+        assert [s.rank for s in view] == [1, 2, 1, 3]
+
+    def test_unencodable_state_raises(self):
+        codec = StateCodec()
+        with pytest.raises(CodecError):
+            codec.encode(object())
+
+
+class TestDenseCompilation:
+    def test_epidemic_tables_match_per_pair_evaluation(self):
+        protocol = OneWayEpidemicProtocol(8)
+        codec = StateCodec()
+        start = [codec.encode(s) for s in protocol.initial_configuration().states]
+        tables = compile_dense_tables(protocol, codec, start, max_states=16)
+        assert tables.size == codec.size
+        assert tables.size <= 4  # informed x active, minus unreachable combos
+        check = StateCodec()
+        for s in protocol.initial_configuration().states:
+            check.encode(s)
+        for a in range(tables.size):
+            for b in range(tables.size):
+                outcome = evaluate_pair(protocol, codec, a, b)
+                assert tables.next_initiator[a, b] == outcome.next_initiator
+                assert tables.next_responder[a, b] == outcome.next_responder
+                assert tables.changed[a, b] == outcome.changed
+
+    def test_epidemic_infection_is_tabulated(self):
+        protocol = OneWayEpidemicProtocol(4)
+        codec = StateCodec()
+        informed = codec.encode(EpidemicState(informed=True, active=True))
+        uninformed = codec.encode(EpidemicState(informed=False, active=True))
+        tables = compile_dense_tables(
+            protocol, codec, [informed, uninformed], max_states=8
+        )
+        assert tables.changed[informed, uninformed]
+        assert tables.next_responder[informed, uninformed] == informed
+        assert not tables.changed[uninformed, informed]
+
+    def test_large_state_space_aborts(self):
+        protocol = StableRanking(32)
+        codec = StateCodec()
+        start = [codec.encode(s) for s in protocol.initial_configuration().states]
+        with pytest.raises(StateSpaceTooLarge):
+            compile_dense_tables(protocol, codec, start, max_states=16)
+
+    def test_randomness_consumption_is_detected(self):
+        protocol = GSLeaderElectionProtocol(8)
+        codec = StateCodec()
+        start = [codec.encode(s) for s in protocol.initial_configuration().states]
+        with pytest.raises(RandomnessConsumed):
+            compile_dense_tables(protocol, codec, start, max_states=64)
+
+    def test_raising_rng_raises_on_any_use(self):
+        with pytest.raises(RandomnessConsumed):
+            RAISING_RNG.integers(0, 2)
+        with pytest.raises(RandomnessConsumed):
+            RAISING_RNG.random()
+
+
+class TestEvaluatePair:
+    def test_stable_ranking_pair_outcomes_are_deterministic(self):
+        protocol = StableRanking(16)
+        codec = StateCodec()
+        initial = codec.encode(protocol.initial_state())
+        first = evaluate_pair(protocol, codec, initial, initial)
+        second = evaluate_pair(protocol, codec, initial, initial)
+        assert first == second
+
+    def test_rank_assignment_is_recorded(self):
+        protocol = StableRanking(8)
+        codec = StateCodec()
+        # An unaware leader with rank 1 meeting a phase-1 agent with coin 1
+        # (coin-gated rules run) assigns the next rank of phase 1.
+        leader = codec.encode(AgentState(rank=1))
+        phase_agent = codec.encode(
+            AgentState(phase=1, coin=1, alive_count=protocol.alive_reset)
+        )
+        outcome = evaluate_pair(protocol, codec, leader, phase_agent)
+        assert outcome.rank_assigned == protocol.schedule.f(2) + 1
+        assert outcome.changed

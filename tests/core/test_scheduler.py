@@ -50,6 +50,56 @@ class TestSchedulerBasics:
         assert [first.sample() for _ in range(50)] == [second.sample() for _ in range(50)]
 
 
+class TestSampleChunkEdgeCases:
+    def test_count_zero_returns_empty_chunk(self):
+        chunk = UniformPairScheduler(5, random_state=0).sample_chunk(0)
+        assert chunk.shape == (0, 2)
+
+    def test_count_one(self):
+        chunk = UniformPairScheduler(5, random_state=0).sample_chunk(1)
+        assert chunk.shape == (1, 2)
+        assert chunk[0, 0] != chunk[0, 1]
+
+    def test_minimal_population_only_produces_both_ordered_pairs(self):
+        scheduler = UniformPairScheduler(2, random_state=3)
+        chunk = scheduler.sample_chunk(2000)
+        pairs = {tuple(pair) for pair in chunk.tolist()}
+        assert pairs == {(0, 1), (1, 0)}
+        # Both orderings should appear in roughly equal proportion.
+        first = int(np.sum(chunk[:, 0] == 0))
+        assert abs(first - 1000) < 150
+
+    def test_chunk_pairs_are_always_distinct(self):
+        for n in (2, 3, 5, 17):
+            chunk = UniformPairScheduler(n, random_state=n).sample_chunk(5000)
+            assert np.all(chunk[:, 0] != chunk[:, 1])
+            assert chunk.min() >= 0 and chunk.max() < n
+
+    def test_ordered_pairs_are_uniform(self):
+        """Every ordered pair appears with probability ~1/(n(n-1))."""
+        n = 5
+        scheduler = UniformPairScheduler(n, random_state=11)
+        chunk = scheduler.sample_chunk(40_000)
+        counts = np.zeros((n, n))
+        np.add.at(counts, (chunk[:, 0], chunk[:, 1]), 1)
+        assert np.all(counts.diagonal() == 0)
+        expected = len(chunk) / (n * (n - 1))
+        off_diagonal = counts[~np.eye(n, dtype=bool)]
+        assert np.all(np.abs(off_diagonal - expected) < 0.12 * expected)
+
+    def test_sample_chunk_consumes_same_stream_as_buffered_sampling(self):
+        """One sample_chunk call equals chunk_size buffered sample() calls.
+
+        The array engine's same-seed equality with the reference simulator
+        rests on this: both issue identical generator calls.
+        """
+        chunked = UniformPairScheduler(7, random_state=13, chunk_size=64)
+        buffered = UniformPairScheduler(7, random_state=13, chunk_size=64)
+        chunk = chunked.sample_chunk(64)
+        singles = [buffered.sample() for _ in range(64)]
+        assert [tuple(pair) for pair in chunk.tolist()] == singles
+
+
 class TestSchedulerUniformity:
     def test_marginals_are_roughly_uniform(self):
         """Each ordered pair should appear with probability ~1/(n(n-1))."""
