@@ -10,16 +10,21 @@ engine speedups from the recorded timings:
 
 ``stable_ranking_throughput``
     20k-interaction slices of a ``StableRanking`` n=128 trajectory from the
-    designated initial configuration.  The array side measures the
-    *tabulated* steady state: the shared :class:`EngineCache` is pre-warmed
-    on the same seed, so the rounds exercise the table path rather than the
+    designated initial configuration, measured on the array engine both
+    with the SoA kernel (``array``) and without (``array-nokernel``).  The
+    kernel-less side measures the *tabulated* steady state: the shared
+    :class:`EngineCache` is pre-warmed on the same seed, so the rounds
+    exercise the table path (probes, elimination, walk) rather than the
     one-time transition tabulation.
 ``stable_ranking_full_run``
     Complete runs to convergence, one fresh seed per round, with the
     tabulation shared across rounds — the shape of the paper's repeated
     experiment sweeps.  This includes every cost the engine has (novel-pair
     tabulation, write-heavy early phase), so its speedup is the most
-    conservative figure.
+    conservative figure.  Measured twice on the array engine: with the
+    protocol-provided SoA kernel (the default) and with
+    ``use_soa_kernel=False`` (tagged ``array-nokernel``), which isolates
+    the kernel's contribution on the walk-bound mid-run regime.
 ``stable_ranking_tail``
     The stabilization tail (population ranked down to the last two agents),
     which dominates the ``Θ(n² log n)`` total of paper-scale runs and is
@@ -94,12 +99,7 @@ def test_reference_simulator_throughput(benchmark):
 
 
 def test_array_engine_stable_ranking_throughput(benchmark):
-    """Tabulated-path throughput of the array engine on the same workload.
-
-    The cache is pre-warmed on the same seed, so rounds measure the table
-    path (probes, elimination, walk) without the one-time tabulation cost —
-    the regime repeated sweeps amortize into.
-    """
+    """Array-engine throughput (SoA kernel active) on the same workload."""
     cache = EngineCache()
     ArraySimulator(StableRanking(STABLE_N), random_state=0, cache=cache).run(
         max_interactions=6 * STABLE_INTERACTIONS, stop_on_convergence=False
@@ -116,6 +116,39 @@ def test_array_engine_stable_ranking_throughput(benchmark):
         benchmark,
         workload="stable_ranking_throughput",
         engine="array",
+        protocol="stable-ranking",
+        n=STABLE_N,
+        interactions=STABLE_INTERACTIONS,
+    )
+
+
+def test_array_engine_stable_ranking_throughput_nokernel(benchmark):
+    """Tabulated-path throughput with the SoA kernel disabled.
+
+    The cache is pre-warmed on the same seed, so rounds measure the table
+    path (probes, elimination, walk) without the one-time tabulation cost —
+    the regime repeated sweeps amortize into.
+    """
+    cache = EngineCache()
+    ArraySimulator(
+        StableRanking(STABLE_N), random_state=0, cache=cache,
+        use_soa_kernel=False,
+    ).run(max_interactions=6 * STABLE_INTERACTIONS, stop_on_convergence=False)
+    simulator = ArraySimulator(
+        StableRanking(STABLE_N), random_state=0, cache=cache,
+        use_soa_kernel=False,
+    )
+
+    def run():
+        simulator.run(
+            max_interactions=STABLE_INTERACTIONS, stop_on_convergence=False
+        )
+
+    benchmark.pedantic(run, rounds=5, iterations=1, warmup_rounds=1)
+    _tag(
+        benchmark,
+        workload="stable_ranking_throughput",
+        engine="array-nokernel",
         protocol="stable-ranking",
         n=STABLE_N,
         interactions=STABLE_INTERACTIONS,
@@ -149,7 +182,12 @@ def test_reference_full_run(benchmark):
 
 
 def test_array_engine_full_run(benchmark):
-    """Complete StableRanking n=128 runs on the array engine (shared cache)."""
+    """Complete StableRanking n=128 runs on the array engine (shared cache).
+
+    The protocol-provided SoA kernel is active (the default), so the
+    write-heavy mid-run regime — coin toggles, liveness-counter churn,
+    phase waves — runs on the vectorized fast path instead of the walk.
+    """
     cache = EngineCache()
     seeds = iter(range(1000, 2000))
     # One cold run takes the brunt of the tabulation, as a sweep's first
@@ -171,6 +209,35 @@ def test_array_engine_full_run(benchmark):
         benchmark,
         workload="stable_ranking_full_run",
         engine="array",
+        protocol="stable-ranking",
+        n=STABLE_N,
+    )
+    benchmark.extra_info["mean_interactions"] = float(np.mean(interactions))
+
+
+def test_array_engine_full_run_nokernel(benchmark):
+    """The same full runs with the SoA kernel disabled (walk-bound)."""
+    cache = EngineCache()
+    seeds = iter(range(1000, 2000))
+    ArraySimulator(
+        StableRanking(STABLE_N), random_state=next(seeds), cache=cache,
+        use_soa_kernel=False,
+    ).run(max_interactions=FULL_RUN_BUDGET)
+    interactions = []
+
+    def run():
+        result = ArraySimulator(
+            StableRanking(STABLE_N), random_state=next(seeds), cache=cache,
+            use_soa_kernel=False,
+        ).run(max_interactions=FULL_RUN_BUDGET)
+        assert result.converged
+        interactions.append(result.interactions)
+
+    benchmark.pedantic(run, rounds=3, iterations=1)
+    _tag(
+        benchmark,
+        workload="stable_ranking_full_run",
+        engine="array-nokernel",
         protocol="stable-ranking",
         n=STABLE_N,
     )

@@ -4,12 +4,27 @@
 Executes ``benchmarks/bench_engine.py`` under pytest-benchmark, reduces the
 raw timings to interactions-per-second per (workload, engine, protocol, n),
 and writes ``BENCH_engine.json`` at the repository root together with the
-array-over-reference speedup per matched workload.  The file is checked in
-so future changes have a perf trajectory to compare against — rerun this
-script after touching the engines and eyeball the deltas.
+per-workload speedup of every engine over the reference simulator (the
+``array`` engine with its SoA kernel, and ``array-nokernel`` with the
+kernel disabled, on the full-run workload).  The file is checked in so
+future changes have a perf trajectory to compare against — rerun this
+script after touching the engines or kernels and eyeball the deltas.
 
-Usage:
-    python benchmarks/run_benchmarks.py [--output PATH]
+Usage::
+
+    python benchmarks/run_benchmarks.py              # rewrite BENCH_engine.json
+    python benchmarks/run_benchmarks.py --output /tmp/bench.json
+
+The script needs no PYTHONPATH setup (it injects ``src`` itself) and takes
+a few minutes: the full-run workloads simulate ~1M-interaction
+StableRanking trajectories to convergence, three rounds per engine.  The
+printed table mirrors the ``speedups`` section of the JSON:
+
+    stable_ranking_full_run: array 3,900,000/s vs reference 320,000/s -> 12.2x
+
+See ``docs/benchmarks.md`` for how to read the output and what the
+workloads mean, and ``docs/engines.md`` for the engine architecture being
+measured.
 """
 
 from __future__ import annotations
@@ -84,21 +99,23 @@ def summarize(raw: dict) -> dict:
         by_workload.setdefault(entry["workload"], {})[entry["engine"]] = entry
     for workload, engines in by_workload.items():
         reference = engines.get("reference")
-        array = engines.get("array")
-        if (
-            reference
-            and array
-            and reference.get("interactions_per_sec")
-            and array.get("interactions_per_sec")
-        ):
-            speedups[workload] = {
-                "reference_interactions_per_sec": reference["interactions_per_sec"],
-                "array_interactions_per_sec": array["interactions_per_sec"],
-                "array_over_reference": (
-                    array["interactions_per_sec"]
-                    / reference["interactions_per_sec"]
-                ),
-            }
+        if not (reference and reference.get("interactions_per_sec")):
+            continue
+        figures = {
+            "reference_interactions_per_sec": reference["interactions_per_sec"],
+        }
+        for engine, entry in engines.items():
+            if engine == "reference" or not entry.get("interactions_per_sec"):
+                continue
+            figures[f"{engine}_interactions_per_sec"] = entry[
+                "interactions_per_sec"
+            ]
+            figures[f"{engine}_over_reference"] = (
+                entry["interactions_per_sec"]
+                / reference["interactions_per_sec"]
+            )
+        if len(figures) > 1:
+            speedups[workload] = figures
 
     return {
         "suite": "bench_engine",
@@ -135,11 +152,16 @@ def main() -> None:
     arguments.output.write_text(json.dumps(summary, indent=2, sort_keys=False) + "\n")
     print(f"wrote {arguments.output}")
     for workload, figures in summary["speedups"].items():
-        print(
-            f"  {workload}: array {figures['array_interactions_per_sec']:,.0f}/s"
-            f" vs reference {figures['reference_interactions_per_sec']:,.0f}/s"
-            f" -> {figures['array_over_reference']:.1f}x"
-        )
+        reference = figures["reference_interactions_per_sec"]
+        for key, value in figures.items():
+            if not key.endswith("_over_reference"):
+                continue
+            engine = key[: -len("_over_reference")]
+            print(
+                f"  {workload}: {engine} "
+                f"{figures[engine + '_interactions_per_sec']:,.0f}/s"
+                f" vs reference {reference:,.0f}/s -> {value:.1f}x"
+            )
 
 
 if __name__ == "__main__":

@@ -27,6 +27,7 @@ from .protocol import PopulationProtocol, RankingProtocol, TransitionResult
 from .rng import make_rng, spawn_rngs, spawn_seeds
 from .scheduler import UniformPairScheduler
 from .simulation import SimulationResult, Simulator
+from .soa import ChunkOutcome, ColumnStore, VectorizedKernel, occurrence_index
 from .state import AgentState, Role, classify_role
 
 __all__ = [
@@ -34,7 +35,9 @@ __all__ = [
     "AggregateResult",
     "AnalysisError",
     "ArraySimulator",
+    "ChunkOutcome",
     "CodecError",
+    "ColumnStore",
     "Configuration",
     "ConfigurationError",
     "DenseTransitionTables",
@@ -58,7 +61,9 @@ __all__ = [
     "TraceLog",
     "TransitionResult",
     "UniformPairScheduler",
+    "VectorizedKernel",
     "classify_role",
+    "occurrence_index",
     "compile_dense_tables",
     "make_rng",
     "make_simulator",

@@ -72,6 +72,17 @@ Engine modes
     also mid-run if a lazily tabulated protocol first consumes randomness
     deep into a trajectory (the walk order makes the hand-over exact).
 
+On top of the two table modes, a protocol may provide a *struct-of-arrays
+vectorized kernel* (:mod:`repro.core.soa`, enabled with
+``use_soa_kernel=True``, the default): the kernel consumes exact chunk
+prefixes with column operations — coin-toggle parity, counter chains —
+and hands every pair it cannot prove back to the ordered walk below.
+This lifts the write-heavy mid-run regime of ``StableRanking`` (where
+nearly every pair toggles a synthetic coin and nothing retires in bulk)
+from the walk's ~0.5 µs/interaction to a few hundredths, while keeping
+bit-exact sequential semantics.  See ``docs/engines.md`` for the full
+mode ladder.
+
 Protocol-level *diagnostic* counters (e.g. ``RankingPlus.errors_detected``)
 are perturbed by tabulation probes and, in the table modes, do not reflect
 the simulated trajectory; all counters in ``SimulationResult`` are exact.
@@ -101,6 +112,7 @@ from .protocol import PopulationProtocol
 from .rng import RandomState
 from .scheduler import UniformPairScheduler
 from .simulation import SimulationResult, Simulator
+from .soa import ColumnStore, VectorizedKernel
 
 __all__ = ["ArraySimulator", "EngineCache", "make_simulator", "ENGINE_NAMES"]
 
@@ -176,7 +188,10 @@ class EngineCache:
     you.
     """
 
-    __slots__ = ("codec", "pair_cache", "probe_classes", "dense_tables", "mode")
+    __slots__ = (
+        "codec", "pair_cache", "probe_classes", "dense_tables", "mode",
+        "soa_kernel", "soa_columns",
+    )
 
     def __init__(self):
         self.codec = StateCodec()
@@ -186,6 +201,12 @@ class EngineCache:
         self.dense_tables: Optional[DenseTransitionTables] = None
         #: Resolved engine mode, or ``None`` until the first simulator decides.
         self.mode: Optional[str] = None
+        #: Shared protocol-provided SoA kernel and its column store (both
+        #: keyed on this cache's codec, so sharing follows the same
+        #: equal-parameterization contract as the pair cache; the store's
+        #: live-population binding is refreshed per chunk by each engine).
+        self.soa_kernel = None
+        self.soa_columns = None
 
     def ensure_probe_capacity(self, size: int) -> np.ndarray:
         """Grow the probe-class table to cover at least ``size`` states."""
@@ -403,7 +424,32 @@ class ArraySimulator:
     cache:
         Optional :class:`EngineCache` shared across simulators of
         equivalent protocols.
+    use_soa_kernel:
+        Whether to ask the protocol for a struct-of-arrays
+        :class:`~repro.core.soa.VectorizedKernel` (see
+        ``PopulationProtocol.vectorized_kernel``) and route chunk prefixes
+        through it on the table paths.  The kernel is exact, so this only
+        trades performance; disable it to benchmark or debug the scalar
+        walk in isolation.
     """
+
+    #: Pairs resolved by the scalar walk after a kernel declines a pair,
+    #: before the kernel is retried — the detour around rare non-fast-path
+    #: events (a rank assignment, a phase bump).  Kept minimal: walked
+    #: pairs in novel states pay the one-time tabulation cost.
+    SOA_WALK_SEGMENT = 1
+    #: Re-entry window after a decline; doubles on every fully consumed
+    #: window so quiet stretches reach whole-chunk calls, while decline
+    #: clusters never pay vector setup for pairs they will not consume.
+    SOA_REENTRY_WINDOW = 512
+    #: Consecutive nearly-empty kernel calls before the engine temporarily
+    #: stops trying the kernel (regimes like start-up leader election,
+    #: where every pair is outside the fast path).
+    SOA_STRIKE_LIMIT = 4
+    #: Kernel calls count as a strike only below this yield.
+    SOA_STRIKE_YIELD = 16
+    #: Chunks processed entirely by the generic paths after striking out.
+    SOA_BACKOFF_CHUNKS = 4
 
     def __init__(
         self,
@@ -416,6 +462,7 @@ class ArraySimulator:
         max_dense_states: int = 64,
         engine_mode: Optional[str] = None,
         cache: Optional[EngineCache] = None,
+        use_soa_kernel: bool = True,
     ):
         self._protocol = protocol
         self._configuration = (
@@ -459,6 +506,29 @@ class ArraySimulator:
         self._kernel = None
         self._cache = cache if cache is not None else EngineCache()
         self._mode = self._select_mode(engine_mode, max_dense_states)
+
+        # Protocol-provided struct-of-arrays kernel (table paths only).
+        self._soa: Optional[VectorizedKernel] = None
+        self._soa_columns: Optional[ColumnStore] = None
+        self._soa_interactions = 0
+        self._soa_strikes = 0
+        self._soa_backoff = 0
+        if use_soa_kernel and self._mode in ("dense", "lazy"):
+            soa = self._cache.soa_kernel
+            if soa is None:
+                soa = protocol.vectorized_kernel(self._codec)
+                self._cache.soa_kernel = soa
+            if soa is not None:
+                self._soa = soa
+                # The store's per-code columns are shared across runs (the
+                # projection over thousands of interned states is pure
+                # Python); the live per-agent binding is per engine and
+                # refreshed before every kernel call.
+                store = self._cache.soa_columns
+                if store is None:
+                    store = ColumnStore(self._codec, soa.columns())
+                    self._cache.soa_columns = store
+                self._soa_columns = store
 
     # ------------------------------------------------------------------
     # Mode selection
@@ -528,6 +598,8 @@ class ArraySimulator:
         self._sync_configuration()
         self._mode = "object"
         self._kernel = None
+        self._soa = None
+        self._soa_columns = None
         self._cache.mode = "object"
         if remaining_pairs:
             self._apply_pairs_object(remaining_pairs)
@@ -554,6 +626,16 @@ class ArraySimulator:
     def kernel(self):
         """The active lookup kernel (``None`` on the object path)."""
         return self._kernel
+
+    @property
+    def soa_kernel(self):
+        """The protocol-provided vectorized kernel (``None`` if absent)."""
+        return self._soa
+
+    @property
+    def soa_interactions(self) -> int:
+        """Interactions consumed by the SoA kernel so far (diagnostics)."""
+        return self._soa_interactions
 
     @property
     def interactions(self) -> int:
@@ -662,6 +744,86 @@ class ArraySimulator:
                 self._changed_since_check = True
 
     def _process_chunk(self, pairs: np.ndarray) -> None:
+        """Execute a chunk of pairs exactly, preferring the SoA kernel.
+
+        With a protocol-provided :class:`~repro.core.soa.VectorizedKernel`
+        attached, the kernel consumes a maximal exact prefix of the chunk
+        in column operations; the first pair it declines (and a bounded
+        segment after it) is resolved by the generic probe-and-walk path,
+        then the kernel is retried on the remainder.  Kernel-hostile
+        regimes (start-up leader election, reset storms) are detected by a
+        strike counter and processed generically for a few chunks before
+        the kernel is retried.  Without a kernel this is exactly the
+        probe-and-walk path.
+        """
+        if self._soa is None:
+            self._process_chunk_tables(pairs)
+            return
+        if self._soa_backoff > 0:
+            self._soa_backoff -= 1
+            self._process_chunk_tables(pairs)
+            return
+        # The column store may be shared with other simulators on the same
+        # cache: (re-)bind our live population before handing it over.
+        self._soa_columns.bind(self._codes_np, self._code_list)
+        total = len(pairs)
+        start = 0
+        window = total
+        while start < total:
+            end = min(start + window, total)
+            outcome = self._soa.apply_chunk(
+                pairs[start:end, 0],
+                pairs[start:end, 1],
+                self._soa_columns,
+                self._scheduler.rng,
+            )
+            processed = outcome.processed
+            if processed:
+                self._interactions += processed
+                self._soa_interactions += processed
+                self._rank_assignments += outcome.rank_assignments
+                self._resets += outcome.resets
+                if outcome.changed:
+                    self._changed_since_check = True
+                start += processed
+            if start >= total:
+                self._soa_strikes = 0
+                return
+            if start >= end:
+                # The window was fully consumed without a decline; grow it
+                # back toward whole-chunk calls.  A full window is a
+                # productive call, so it also clears the strike count.
+                self._soa_strikes = 0
+                window = min(window * 2, total)
+                continue
+            # The kernel declined the pair at ``start``: score the attempt,
+            # walk a short segment past the offending pair, then re-enter
+            # on a reduced window.
+            if processed >= self.SOA_STRIKE_YIELD:
+                self._soa_strikes = 0
+            else:
+                self._soa_strikes += 1
+                if self._soa_strikes >= self.SOA_STRIKE_LIMIT:
+                    self._soa_strikes = 0
+                    self._soa_backoff = self.SOA_BACKOFF_CHUNKS
+                    self._process_chunk_tables(pairs[start:])
+                    return
+            segment_end = min(start + self.SOA_WALK_SEGMENT, total)
+            self._walk_all(
+                pairs[start:segment_end, 0].tolist(),
+                pairs[start:segment_end, 1].tolist(),
+            )
+            start = segment_end
+            window = self.SOA_REENTRY_WINDOW
+            if self._mode == "object":
+                # The segment demoted the engine mid-chunk (its own tail
+                # already ran on the object path); finish the outer chunk
+                # there too, in original order.
+                if start < total:
+                    self._apply_pairs_object(pairs[start:].tolist())
+                return
+
+    def _process_chunk_tables(self, pairs: np.ndarray) -> None:
         """Execute a chunk of pairs with exact sequential semantics.
 
         Optimistic elimination with walk-time validation: the volatile set

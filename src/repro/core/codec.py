@@ -178,6 +178,58 @@ class StateCodec:
         prototypes = self._prototypes
         return [prototypes[code] for code in codes]
 
+    # ------------------------------------------------------------------
+    # Struct-of-arrays projection (see repro.core.soa)
+    # ------------------------------------------------------------------
+    def field_columns(
+        self,
+        fields: Sequence[str],
+        start: int = 0,
+        undefined: int = -1,
+    ) -> Dict[str, np.ndarray]:
+        """Project the interned states into per-field integer columns.
+
+        For every ``field`` name, returns an int64 array of length
+        ``size - start`` whose entry ``i`` is ``getattr(prototype(start + i),
+        field)`` with ``None`` (the paper's ``⊥``) mapped to ``undefined``
+        and booleans mapped to 0/1.  ``start`` lets vectorized kernels
+        extend previously projected columns incrementally as the codec
+        interns new states mid-run.
+
+        Raises :class:`CodecError` if some interned state lacks one of the
+        requested fields — a kernel asking for columns of the wrong state
+        type must fail loudly, not read garbage.
+        """
+        prototypes = self._prototypes[start:]
+        columns = {
+            field: np.empty(len(prototypes), dtype=np.int64) for field in fields
+        }
+        for field, column in columns.items():
+            for index, prototype in enumerate(prototypes):
+                try:
+                    value = getattr(prototype, field)
+                except AttributeError:
+                    raise CodecError(
+                        f"state type {type(prototype).__name__} has no field "
+                        f"{field!r}; cannot project it into a column"
+                    ) from None
+                column[index] = undefined if value is None else int(value)
+        return columns
+
+    def variant_code(self, code: int, **updates) -> int:
+        """The code of ``prototype(code)`` with some fields replaced.
+
+        The inverse of :meth:`field_columns` for single states: vectorized
+        kernels evolve per-field columns (a coin toggled, a counter
+        decremented) and use this to re-enter the coded world, interning the
+        variant if it was never seen before.  Pass ``None`` to reset a field
+        to the undefined value ``⊥``.
+        """
+        state = _copy_state(self._prototypes[code])
+        for field, value in updates.items():
+            setattr(state, field, value)
+        return self.encode(state)
+
 
 @dataclass(frozen=True)
 class PairOutcome:

@@ -136,6 +136,20 @@ class PopulationProtocol(abc.ABC, Generic[S]):
         """
         return None
 
+    def vectorized_kernel(self, codec):
+        """Optional struct-of-arrays fast path for the array engine.
+
+        Protocols that understand their own hot path may return a
+        :class:`~repro.core.soa.VectorizedKernel` built over ``codec`` (a
+        :class:`~repro.core.codec.StateCodec`); the array engine then
+        consumes chunk prefixes through it instead of the scalar walk,
+        falling back to the walk at the first pair the kernel declines.
+        The kernel must be *exact* — bit-identical to the reference
+        simulator for the pairs it consumes (see :mod:`repro.core.soa`).
+        Returning ``None`` (the default) keeps the generic paths.
+        """
+        return None
+
 
 class RankingProtocol(PopulationProtocol[S]):
     """Base class for ranking protocols (the paper's problem).

@@ -24,6 +24,7 @@ from ...core.protocol import PopulationProtocol, TransitionResult
 
 __all__ = [
     "EpidemicState",
+    "OneWayEpidemicKernel",
     "OneWayEpidemicProtocol",
     "epidemic_upper_bound",
 ]
@@ -119,6 +120,81 @@ class OneWayEpidemicProtocol(PopulationProtocol[EpidemicState]):
 
     def state_space_size(self) -> int:
         return 4  # informed x active
+
+    def vectorized_kernel(self, codec):
+        """The epidemic SoA kernel — the simplest exemplar of the hook."""
+        return OneWayEpidemicKernel()
+
+
+class OneWayEpidemicKernel:
+    """Struct-of-arrays kernel for the one-way epidemic.
+
+    The exemplar :class:`~repro.core.soa.VectorizedKernel`: the epidemic's
+    only effect is monotone (``informed`` flips to ``True`` and stays), so
+    a whole chunk resolves as a time-respecting reachability fixpoint —
+    agent ``v`` is informed after the chunk iff some pair ``(u, v)`` at
+    position ``t`` had ``u`` informed strictly before ``t``.  Iterating
+    the earliest-infection-time relaxation converges in at most the depth
+    of the chunk's infection forest (a handful of rounds) and consumes
+    every chunk completely; the kernel never defers to the walk.
+    """
+
+    _COLUMNS = ("informed", "active")
+
+    def __init__(self):
+        self._classified = 0
+        self._informed = np.empty(0, dtype=bool)
+        self._active = np.empty(0, dtype=bool)
+
+    def columns(self):
+        return self._COLUMNS
+
+    def _refresh(self, store) -> None:
+        from ...core.soa import grow_column
+
+        size = store.refresh()
+        start = self._classified
+        if size <= start:
+            return
+        self._informed = grow_column(self._informed, start, size, minimum=8)
+        self._active = grow_column(self._active, start, size, minimum=8)
+        window = slice(start, size)
+        self._informed[window] = store.column("informed")[window] > 0
+        self._active[window] = store.column("active")[window] > 0
+        self._classified = size
+
+    def apply_chunk(self, initiators, responders, columns, rng):
+        from ...core.soa import ChunkOutcome
+
+        self._refresh(columns)
+        codes = columns.codes
+        informed = self._informed[codes]
+        active = self._active[codes]
+        total = len(initiators)
+        live = active[initiators] & active[responders]
+        if not live.any():
+            return ChunkOutcome(total)
+        positions = np.flatnonzero(live)
+        pair_u = initiators[positions]
+        pair_v = responders[positions]
+        never = total + 1
+        infection_time = np.where(informed, np.int64(-1), np.int64(never))
+        while True:
+            spreads = (infection_time[pair_u] < positions) & (
+                infection_time[pair_v] > positions
+            )
+            if not spreads.any():
+                break
+            np.minimum.at(infection_time, pair_v[spreads], positions[spreads])
+        newly = np.flatnonzero((infection_time >= 0) & (infection_time < never))
+        if not len(newly):
+            return ChunkOutcome(total)
+        new_codes = [
+            columns.variant(int(codes[agent]), informed=True)
+            for agent in newly.tolist()
+        ]
+        columns.commit(newly.tolist(), new_codes)
+        return ChunkOutcome(total, changed=True)
 
 
 def epidemic_upper_bound(n: int, m: int, gamma: float = 1.0) -> float:

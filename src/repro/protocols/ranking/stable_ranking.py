@@ -266,3 +266,14 @@ class StableRanking(RankingProtocol[AgentState]):
             d_max=self._reset.d_max,
         )
         return info
+
+    def vectorized_kernel(self, codec):
+        """The mid-run SoA fast path (coin toggles, liveness counters).
+
+        See :mod:`repro.protocols.ranking.soa_kernel`; the kernel is exact
+        and conservative, handing every base-state-writing pair back to
+        the array engine's ordered walk.
+        """
+        from .soa_kernel import StableRankingKernel
+
+        return StableRankingKernel(self)

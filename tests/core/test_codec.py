@@ -185,3 +185,68 @@ class TestEvaluatePair:
         outcome = evaluate_pair(protocol, codec, leader, phase_agent)
         assert outcome.rank_assigned == protocol.schedule.f(2) + 1
         assert outcome.changed
+
+
+class TestFieldColumns:
+    """Struct-of-arrays projection (the SoA kernels' substrate)."""
+
+    def test_projects_fields_with_undefined_sentinel(self):
+        codec = StateCodec()
+        a = codec.encode(AgentState(rank=4))
+        b = codec.encode(AgentState(phase=2, coin=1, alive_count=0))
+        columns = codec.field_columns(("rank", "phase", "coin", "alive_count"))
+        assert columns["rank"].tolist() == [4, -1]
+        assert columns["phase"].tolist() == [-1, 2]
+        assert columns["coin"].tolist() == [-1, 1]
+        assert columns["alive_count"].tolist() == [-1, 0]
+        assert columns["rank"].dtype == np.int64
+        assert a == 0 and b == 1
+
+    def test_start_offset_projects_only_new_codes(self):
+        codec = StateCodec()
+        codec.encode(AgentState(rank=1))
+        codec.encode(AgentState(rank=2))
+        columns = codec.field_columns(("rank",), start=1)
+        assert columns["rank"].tolist() == [2]
+
+    def test_booleans_project_to_integers(self):
+        codec = StateCodec()
+        codec.encode(EpidemicState(informed=True, active=False))
+        columns = codec.field_columns(("informed", "active"))
+        assert columns["informed"].tolist() == [1]
+        assert columns["active"].tolist() == [0]
+
+    def test_missing_field_raises(self):
+        codec = StateCodec()
+        codec.encode(AgentState())
+        with pytest.raises(CodecError):
+            codec.field_columns(("no_such_field",))
+
+
+class TestVariantCode:
+    def test_variant_interns_and_round_trips(self):
+        codec = StateCodec()
+        base = codec.encode(AgentState(phase=3, coin=0, alive_count=9))
+        variant = codec.variant_code(base, coin=1, alive_count=2)
+        state = codec.materialize(variant)
+        assert (state.phase, state.coin, state.alive_count) == (3, 1, 2)
+        # identical updates return the interned code, and the base state
+        # is untouched
+        assert codec.variant_code(base, coin=1, alive_count=2) == variant
+        assert codec.materialize(base).coin == 0
+
+    def test_variant_with_none_clears_a_field(self):
+        codec = StateCodec()
+        base = codec.encode(AgentState(phase=3, coin=0, alive_count=9))
+        cleared = codec.variant_code(
+            base, phase=None, coin=None, alive_count=None, rank=7
+        )
+        state = codec.materialize(cleared)
+        assert state.rank == 7
+        assert state.phase is None and state.coin is None
+        assert state.alive_count is None
+
+    def test_variant_of_unchanged_fields_is_identity(self):
+        codec = StateCodec()
+        base = codec.encode(AgentState(rank=5))
+        assert codec.variant_code(base, rank=5) == base
