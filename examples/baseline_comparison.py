@@ -18,19 +18,28 @@ Usage:
 
 import sys
 
-from repro.experiments import format_comparison, run_comparison
+from repro.experiments import (
+    Study,
+    comparison_result_from_rows,
+    comparison_specs,
+    format_comparison,
+)
 
 
 def main() -> None:
     n_values = [int(arg) for arg in sys.argv[1:]] or [16, 32, 64]
 
     print("Running the comparison (this takes a minute for larger n)…\n")
-    result = run_comparison(
+    # One spec per protocol family; also available (with parallel seed
+    # fan-out and a result store) as `python -m repro run comparison`.
+    specs = comparison_specs(
         n_values=n_values,
         repetitions=3,
         workload="fresh",
         max_interactions_factor=1500,
     )
+    rows = Study(specs, name="comparison-demo").run()
+    result = comparison_result_from_rows(rows, workload="fresh")
     print(format_comparison(result))
 
     print(

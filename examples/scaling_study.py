@@ -21,7 +21,15 @@ import sys
 import time
 
 from repro import ArraySimulator, EngineCache, Simulator, StableRanking
-from repro.experiments import format_figure3, format_scaling, run_figure3, run_scaling
+from repro.experiments import (
+    Study,
+    figure3_result_from_rows,
+    figure3_specs,
+    format_figure3,
+    format_scaling,
+    scaling_result_from_rows,
+    scaling_specs,
+)
 from repro.experiments.ascii_plot import format_table
 
 
@@ -63,12 +71,29 @@ def main() -> None:
 
     n_values = [n for n in (128, 256, 512, 1024, 2048, 4096, 8192) if n <= max_n]
 
+    # Both sweeps are declarative studies; the same presets run from the
+    # command line as `python -m repro run figure3` / `... run scaling`,
+    # with --jobs for parallel seeds and --out for a resumable store.
     print("Time to rank constant fractions of the population (Figure 3):\n")
-    figure3 = run_figure3(n_values=n_values, repetitions=repetitions, engine="aggregate")
+    figure3 = figure3_result_from_rows(
+        Study(
+            figure3_specs(
+                n_values=n_values, repetitions=repetitions, engine="aggregate"
+            ),
+            name="figure3-study",
+        ).run()
+    )
     print(format_figure3(figure3))
 
     print("\nFull stabilization time, normalized by n² log₂ n (Theorem 1):\n")
-    scaling = run_scaling(n_values=n_values, repetitions=repetitions, engine="aggregate")
+    scaling = scaling_result_from_rows(
+        Study(
+            scaling_specs(
+                n_values=n_values, repetitions=repetitions, engine="aggregate"
+            ),
+            name="scaling-study",
+        ).run()
+    )
     print(format_scaling(scaling))
 
     # The agent-level engines are exact per-interaction simulations, so the

@@ -17,14 +17,22 @@ Usage:
 
 import sys
 
-from repro.experiments import format_figure2, run_figure2
+from repro.experiments import (
+    Study,
+    figure2_result_from_rows,
+    figure2_specs,
+    format_figure2,
+)
 
 
 def main() -> None:
     n = int(sys.argv[1]) if len(sys.argv) > 1 else 96
 
     print(f"Running the Figure 2 scenario for n = {n} (this takes a moment)…\n")
-    result = run_figure2(n=n, random_state=0)
+    # One declarative spec, one study; the same scenario is also available
+    # as `python -m repro run figure2 --n <n>` with a persistent store.
+    rows = Study(figure2_specs(n_values=(n,)), name="figure2-demo").run()
+    result = figure2_result_from_rows(rows)
     print(format_figure2(result))
 
     reset_point = result.normalized_interactions[

@@ -11,10 +11,13 @@ The public API re-exports the most commonly used pieces:
 * the simulation core (:class:`Simulator`, :class:`Configuration`, …),
 * the paper's protocols (:class:`SpaceEfficientRanking`,
   :class:`StableRanking`) and their substrates,
-* the baselines and the experiment drivers for the paper's figures.
+* the baselines and the experiment layer for the paper's figures: the
+  declarative study API (:class:`ExperimentSpec`, :class:`Study`,
+  :class:`ResultSet`) behind the ``python -m repro`` command line.
 
-See ``README.md`` for a quickstart and ``DESIGN.md`` for the system
-inventory and the per-experiment index.
+See ``README.md`` for a quickstart, ``docs/experiments.md`` for the study
+API and CLI cookbook, and ``DESIGN.md`` for the system inventory and the
+per-experiment index.
 """
 
 from .core import (
@@ -50,8 +53,10 @@ from .protocols.ranking import (
     StableRanking,
 )
 from .protocols.reset import PropagateReset, PropagateResetProtocol
+from .experiments.store import ResultStore
+from .experiments.study import ExperimentSpec, ResultSet, RunRow, Study
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "AgentState",
@@ -59,6 +64,7 @@ __all__ = [
     "ArraySimulator",
     "Configuration",
     "EngineCache",
+    "ExperimentSpec",
     "FastLeaderElection",
     "FastLeaderElectionProtocol",
     "GSLeaderElection",
@@ -71,12 +77,16 @@ __all__ = [
     "RankingPlus",
     "RankingProtocol",
     "RankingRules",
+    "ResultSet",
+    "ResultStore",
     "Role",
+    "RunRow",
     "SimulationResult",
     "Simulator",
     "SpaceEfficientRanking",
     "StableRanking",
     "StateCodec",
+    "Study",
     "TransitionResult",
     "classify_role",
     "make_rng",

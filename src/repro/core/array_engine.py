@@ -365,6 +365,11 @@ class _LazyKernel:
         )
         self.pair_dict[key] = packed
         table = self._cache.probe_classes
+        if a >= table.shape[0] or b >= table.shape[0]:
+            # Codes interned since the last chunk probe lie beyond the
+            # table; grow it now or the entry would stay "unknown" forever
+            # (the pair dict hit means this evaluation never reruns).
+            table = self._cache.ensure_probe_capacity(self._codec.size)
         if a < table.shape[0] and b < table.shape[0]:
             table[a, b] = _class_of(packed, a, b)
         return packed
@@ -442,6 +447,28 @@ class ArraySimulator:
     #: window so quiet stretches reach whole-chunk calls, while decline
     #: clusters never pay vector setup for pairs they will not consume.
     SOA_REENTRY_WINDOW = 512
+    #: Folding the lazy pair cache into the kernel dispatch: a chunk is
+    #: routed to the generic table path — even with a kernel attached —
+    #: when the kernel's *scalar-loop share* for the chunk (its
+    #: ``chunk_scalar_share`` diagnostic, when it provides one) is at
+    #: least this fraction.  The kernel's vectorized wins (coin parity,
+    #: bulk class handling) vanish in regimes where nearly every pair
+    #: runs its ordered scalar chain loop; there a pre-tabulated pair
+    #: costs less as a warm dictionary probe on the walk than as another
+    #: loop iteration plus commit.  Measured on ``StableRanking`` n=128:
+    #: the share sits near 1.0 during the early counter-churn and at
+    #: 0.01-0.15 for the rest of the run, so 0.5 cleanly separates the
+    #: regimes.
+    SOA_DISPATCH_SCALAR_SHARE = 0.5
+    #: ...but only when the chunk probe confirms the pair cache has seen
+    #: the regime: chunks whose share of untabulated chunk-start pairs is
+    #: at or above this fraction stay on the kernel, which exists
+    #: precisely to keep novel pairs away from the µs-scale tabulation.
+    #: The probe is conservative — in write-heavy regimes chunk-start
+    #: codes mispredict the walked pair stream, so a fully pre-tabulated
+    #: replay still reads 10-70% "novel" while genuinely novelty-bound
+    #: regimes read 85-100% — hence the high cut.
+    SOA_TABLE_DISPATCH_NOVELTY = 0.8
     #: Consecutive nearly-empty kernel calls before the engine temporarily
     #: stops trying the kernel (regimes like start-up leader election,
     #: where every pair is outside the fast path).
@@ -763,6 +790,24 @@ class ArraySimulator:
             self._soa_backoff -= 1
             self._process_chunk_tables(pairs)
             return
+        share_probe = getattr(self._soa, "chunk_scalar_share", None)
+        if self._mode == "lazy" and share_probe is not None:
+            # Fold the lazy pair cache into the kernel dispatch: in
+            # scalar-loop-bound regimes, chunks the cache has mostly seen
+            # before run faster on the warm table path than in the
+            # kernel's chains, so the kernel keeps only the novelty-heavy
+            # chunks (where walking would mean tabulating).  Dense tables
+            # are complete, so this distinction does not exist there and
+            # the kernel always gets the chunk.
+            share = share_probe(self._codes_np[pairs[:, 1]], self._soa_columns)
+            if share >= self.SOA_DISPATCH_SCALAR_SHARE:
+                classes = self._kernel.probe_class(
+                    self._codes_np[pairs[:, 0]], self._codes_np[pairs[:, 1]]
+                )
+                novel = int(np.count_nonzero(classes == -1))
+                if novel < self.SOA_TABLE_DISPATCH_NOVELTY * len(pairs):
+                    self._process_chunk_tables(pairs, classes)
+                    return
         # The column store may be shared with other simulators on the same
         # cache: (re-)bind our live population before handing it over.
         self._soa_columns.bind(self._codes_np, self._code_list)
@@ -814,7 +859,6 @@ class ArraySimulator:
                 pairs[start:segment_end, 1].tolist(),
             )
             start = segment_end
-            window = self.SOA_REENTRY_WINDOW
             if self._mode == "object":
                 # The segment demoted the engine mid-chunk (its own tail
                 # already ran on the object path); finish the outer chunk
@@ -822,8 +866,18 @@ class ArraySimulator:
                 if start < total:
                     self._apply_pairs_object(pairs[start:].tolist())
                 return
+            if start < total:
+                # Extend the segment over pairs the pair cache already
+                # holds: each costs one warm dictionary probe, cheaper
+                # than another kernel re-entry, and never tabulates.
+                start += self._walk_while_tabulated(
+                    pairs[start:, 0].tolist(), pairs[start:, 1].tolist()
+                )
+            window = self.SOA_REENTRY_WINDOW
 
-    def _process_chunk_tables(self, pairs: np.ndarray) -> None:
+    def _process_chunk_tables(
+        self, pairs: np.ndarray, classes: Optional[np.ndarray] = None
+    ) -> None:
         """Execute a chunk of pairs with exact sequential semantics.
 
         Optimistic elimination with walk-time validation: the volatile set
@@ -844,11 +898,13 @@ class ArraySimulator:
         agents_r = pairs[:, 1]
         codes_np = self._codes_np
 
-        # Probe the whole chunk against the current codes.  Unknown pairs
-        # are NOT tabulated here — their operands may still change before
-        # their turn; they read as "writes both agents" (all class bits set)
-        # and the walk resolves them against settled codes.
-        classes = self._kernel.probe_class(codes_np[agents_i], codes_np[agents_r])
+        # Probe the whole chunk against the current codes (unless the
+        # kernel dispatch already did).  Unknown pairs are NOT tabulated
+        # here — their operands may still change before their turn; they
+        # read as "writes both agents" (all class bits set) and the walk
+        # resolves them against settled codes.
+        if classes is None:
+            classes = self._kernel.probe_class(codes_np[agents_i], codes_np[agents_r])
 
         volatile = np.zeros(self._n, dtype=bool)
         volatile[agents_i[(classes & _CLS_WRITES_U) != 0]] = True
@@ -1021,6 +1077,54 @@ class ArraySimulator:
             self._demote_to_object(
                 list(zip(ai[demote_from:], ar[demote_from:]))
             )
+
+    def _walk_while_tabulated(self, ai: List[int], ar: List[int]) -> int:
+        """Walk pairs in order while the pair cache already holds them.
+
+        The tabulation-free sibling of :meth:`_walk_all`, used to extend a
+        kernel-decline segment: execution stops in front of the first pair
+        whose current state pair is not in the cache (that pair goes back
+        to the kernel), so every step is a warm dictionary probe and the
+        walk can never tabulate or demote.  Returns the number of pairs
+        consumed.
+        """
+        codes = self._code_list
+        get = self._kernel.pair_dict.get
+        pending: Dict[int, int] = {}
+        walked = 0
+        ranks = 0
+        resets = 0
+        changed = False
+        for i, j in zip(ai, ar):
+            a = codes[i]
+            b = codes[j]
+            value = get((a << _CODE_BITS) | b)
+            if value is None:
+                break
+            next_a = value & _CODE_MASK
+            if next_a != a:
+                codes[i] = next_a
+                pending[i] = next_a
+            next_b = (value >> _CODE_BITS) & _CODE_MASK
+            if next_b != b:
+                codes[j] = next_b
+                pending[j] = next_b
+            walked += 1
+            if value & _FLAG_FIELD:
+                if value & _CHANGED_BIT:
+                    changed = True
+                if value & _RANK_FIELD:
+                    ranks += 1
+                if value & _RESET_BIT:
+                    resets += 1
+        if pending:
+            self._codes_np[list(pending.keys())] = list(pending.values())
+        self._interactions += walked
+        self._rank_assignments += ranks
+        self._resets += resets
+        if changed:
+            self._changed_since_check = True
+        return walked
 
     def _reactivate(self, agent, position, order, cursor, safe, agents_i, agents_r):
         """A walked pair wrote an agent assumed stable: re-walk its pairs.

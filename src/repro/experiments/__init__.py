@@ -1,22 +1,65 @@
-"""Experiment drivers reproducing the paper's evaluation (and extensions)."""
+"""Experiment layer: declarative studies plus the paper's figure presets.
+
+The center of the package is the study API (:mod:`repro.experiments.study`):
+an :class:`ExperimentSpec` declares a protocol, workload, engine, seed plan
+and measurements as plain data; a :class:`Study` expands specs into a
+``variants × n × seeds`` cell matrix, executes it (optionally across worker
+processes), persists every finished cell through a :class:`ResultStore`,
+and returns one unified :class:`ResultSet`.  The paper's figures are thin
+presets over that API — as spec builders (``figure2_specs``, …), as
+deprecated legacy shims (``run_figure2``, …) and as the ``python -m
+repro`` command line (:mod:`repro.experiments.cli`).
+"""
 
 from .ascii_plot import ascii_plot, format_table
-from .comparison import ComparisonResult, format_comparison, run_comparison
+from .comparison import (
+    ComparisonResult,
+    comparison_result_from_rows,
+    comparison_specs,
+    format_comparison,
+    run_comparison,
+)
 from .fault_injection import (
     FaultInjectionResult,
+    fault_injection_result_from_rows,
+    fault_injection_specs,
     format_fault_injection,
     run_fault_injection,
 )
-from .figure2 import Figure2Result, format_figure2, run_figure2
+from .figure2 import (
+    Figure2Result,
+    figure2_result_from_rows,
+    figure2_specs,
+    format_figure2,
+    run_figure2,
+)
 from .figure3 import (
     PAPER_FRACTIONS,
     Figure3Result,
+    figure3_result_from_rows,
+    figure3_specs,
     format_figure3,
     run_figure3,
 )
 from .harness import ExperimentRunner, RunRecord, SweepResult
 from .recording import default_results_dir, read_csv, write_csv, write_json
-from .scaling import ScalingResult, format_scaling, run_scaling
+from .scaling import (
+    ScalingResult,
+    format_scaling,
+    run_scaling,
+    scaling_result_from_rows,
+    scaling_specs,
+)
+from .store import ResultStore
+from .study import (
+    EXTRACTORS,
+    PROTOCOLS,
+    WORKLOADS,
+    ExperimentSpec,
+    ResultSet,
+    RunRow,
+    Study,
+)
 from .workloads import (
     adversarial_configuration,
     duplicate_rank_configuration,
@@ -29,20 +72,36 @@ from .workloads import (
 
 __all__ = [
     "ComparisonResult",
+    "EXTRACTORS",
     "ExperimentRunner",
+    "ExperimentSpec",
     "FaultInjectionResult",
     "Figure2Result",
     "Figure3Result",
     "PAPER_FRACTIONS",
+    "PROTOCOLS",
+    "ResultSet",
+    "ResultStore",
     "RunRecord",
+    "RunRow",
     "ScalingResult",
+    "Study",
     "SweepResult",
+    "WORKLOADS",
     "adversarial_configuration",
     "ascii_plot",
+    "comparison_result_from_rows",
+    "comparison_specs",
     "default_results_dir",
     "duplicate_rank_configuration",
+    "fault_injection_result_from_rows",
+    "fault_injection_specs",
     "figure2_initial_configuration",
+    "figure2_result_from_rows",
+    "figure2_specs",
     "figure3_initial_configuration",
+    "figure3_result_from_rows",
+    "figure3_specs",
     "format_comparison",
     "format_fault_injection",
     "format_figure2",
@@ -57,6 +116,8 @@ __all__ = [
     "run_figure2",
     "run_figure3",
     "run_scaling",
+    "scaling_result_from_rows",
+    "scaling_specs",
     "valid_ranking_configuration",
     "write_csv",
     "write_json",

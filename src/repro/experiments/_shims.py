@@ -1,0 +1,32 @@
+"""Helpers shared by the deprecated driver shims."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.rng import RandomState
+
+__all__ = ["coerce_seed"]
+
+
+def coerce_seed(random_state: RandomState) -> int:
+    """Reduce a legacy ``random_state`` argument to a plain integer seed.
+
+    Study specs are JSON data, so their root seed is an ``int``.  The old
+    drivers also accepted generators and seed sequences; those are folded
+    into a derived integer (consuming entropy from a generator, like
+    :func:`~repro.core.rng.spawn_seeds` does), and ``None`` draws a fresh
+    OS-entropy seed.
+    """
+    if random_state is None:
+        return int(np.random.SeedSequence().entropy % (2**63 - 1))
+    if isinstance(random_state, (int, np.integer)):
+        return int(random_state)
+    if isinstance(random_state, np.random.SeedSequence):
+        return int(np.random.default_rng(random_state).integers(0, 2**63 - 1))
+    if isinstance(random_state, np.random.Generator):
+        return int(random_state.integers(0, 2**63 - 1))
+    raise TypeError(
+        f"random_state must be None, int, SeedSequence or Generator, "
+        f"got {type(random_state).__name__}"
+    )

@@ -1,0 +1,289 @@
+"""``python -m repro`` — every paper figure and benchmark from one command.
+
+The CLI is a thin veneer over the declarative study API: each experiment
+name maps to a preset that builds :class:`~repro.experiments.study
+.ExperimentSpec` objects from the command-line arguments, runs them
+through a :class:`~repro.experiments.study.Study` (with multiprocess seed
+fan-out via ``--jobs`` and a persistent, resumable result store under
+``--out``), and renders the familiar text table for the figure.
+
+Examples::
+
+    python -m repro list
+    python -m repro run figure2 --n 256 --out results/
+    python -m repro run figure3 --n 128,256 --seeds 50 --jobs 8
+    python -m repro run scaling --n 8 --seeds 2
+    python -m repro run comparison --n 16,32 --seeds 5 --workload corrupted
+    python -m repro run fault_injection --n 32 --seeds 10 --jobs 4
+
+Re-invoking a finished study is free: every completed ``(variant, n,
+seed)`` cell is loaded from the store (see
+:mod:`repro.experiments.store`) instead of being re-simulated.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional, Sequence
+
+from ..core.errors import ExperimentError
+from . import comparison as _comparison
+from . import fault_injection as _fault
+from . import figure2 as _figure2
+from . import figure3 as _figure3
+from . import scaling as _scaling
+from .study import ResultSet, Study
+
+__all__ = ["main", "build_study"]
+
+
+def _parse_ints(values: Optional[List[str]], default: Sequence[int]) -> tuple:
+    if not values:
+        return tuple(default)
+    parsed = []
+    for chunk in values:
+        for piece in str(chunk).split(","):
+            piece = piece.strip()
+            if piece:
+                parsed.append(int(piece))
+    return tuple(parsed)
+
+
+def _parse_strs(value: Optional[str], default: Sequence[str]) -> tuple:
+    if value is None:
+        return tuple(default)
+    return tuple(piece.strip() for piece in value.split(",") if piece.strip())
+
+
+def _parse_floats(value: Optional[str], default: Sequence[float]) -> tuple:
+    if value is None:
+        return tuple(default)
+    return tuple(float(piece) for piece in value.split(",") if piece.strip())
+
+
+# ----------------------------------------------------------------------
+# Presets
+# ----------------------------------------------------------------------
+def _figure2_specs(args):
+    return _figure2.figure2_specs(
+        n_values=_parse_ints(args.n, (256,)),
+        seeds=args.seeds if args.seeds is not None else 1,
+        samples=args.samples,
+        max_normalized_interactions=args.max_factor or 200.0,
+        engine=args.engine or "reference",
+        random_state=args.seed,
+    )
+
+
+def _figure2_render(result: ResultSet, args) -> str:
+    blocks = []
+    for n in result.specs[0].n_values:
+        legacy = _figure2.figure2_result_from_rows(result, n=n)
+        blocks.append(_figure2.format_figure2(legacy, plot=not args.no_plot))
+    return "\n\n".join(blocks)
+
+
+def _figure3_specs(args):
+    return _figure3.figure3_specs(
+        n_values=_parse_ints(args.n, _figure3.PAPER_POPULATION_SIZES),
+        fractions=_parse_floats(args.fractions, _figure3.PAPER_FRACTIONS),
+        repetitions=args.seeds if args.seeds is not None else 100,
+        engine=args.engine or "aggregate",
+        max_interactions_factor=args.max_factor or 500.0,
+        random_state=args.seed,
+    )
+
+
+def _figure3_render(result: ResultSet, args) -> str:
+    return _figure3.format_figure3(_figure3.figure3_result_from_rows(result))
+
+
+def _scaling_specs(args):
+    return _scaling.scaling_specs(
+        n_values=_parse_ints(args.n, (64, 128, 256, 512, 1024)),
+        repetitions=args.seeds if args.seeds is not None else 20,
+        engine=args.engine or "aggregate",
+        max_interactions_factor=args.max_factor or 2000.0,
+        random_state=args.seed,
+    )
+
+
+def _scaling_render(result: ResultSet, args) -> str:
+    return _scaling.format_scaling(_scaling.scaling_result_from_rows(result))
+
+
+def _comparison_specs(args):
+    return _comparison.comparison_specs(
+        n_values=_parse_ints(args.n, (16, 32, 64)),
+        repetitions=args.seeds if args.seeds is not None else 5,
+        workload=args.workload,
+        protocols=(
+            _parse_strs(args.protocols, _comparison.PROTOCOL_FAMILIES)
+            if args.protocols
+            else None
+        ),
+        max_interactions_factor=int(args.max_factor or 400),
+        engine=args.engine or "reference",
+        random_state=args.seed,
+    )
+
+
+def _comparison_render(result: ResultSet, args) -> str:
+    legacy = _comparison.comparison_result_from_rows(result, workload=args.workload)
+    return _comparison.format_comparison(legacy)
+
+
+def _fault_specs(args):
+    return _fault.fault_injection_specs(
+        n_values=_parse_ints(args.n, (32, 64)),
+        repetitions=args.seeds if args.seeds is not None else 5,
+        faults=_parse_strs(args.faults, _fault.FAULT_MODELS),
+        max_interactions_factor=int(args.max_factor or 400),
+        engine=args.engine or "reference",
+        random_state=args.seed,
+    )
+
+
+def _fault_render(result: ResultSet, args) -> str:
+    return _fault.format_fault_injection(
+        _fault.fault_injection_result_from_rows(result)
+    )
+
+
+EXPERIMENTS = {
+    "figure2": {
+        "help": "Figure 2: ranked agents + average phase vs time (worst case start)",
+        "specs": _figure2_specs,
+        "render": _figure2_render,
+    },
+    "figure3": {
+        "help": "Figure 3: normalized times to rank fractions of the agents",
+        "specs": _figure3_specs,
+        "render": _figure3_render,
+    },
+    "scaling": {
+        "help": "Stabilization-time scaling (Theorem 1 shape check)",
+        "specs": _scaling_specs,
+        "render": _scaling_render,
+    },
+    "comparison": {
+        "help": "StableRanking vs the Cai and Burman-style baselines",
+        "specs": _comparison_specs,
+        "render": _comparison_render,
+    },
+    "fault_injection": {
+        "help": "Recovery times under injected transient faults (Theorem 2)",
+        "specs": _fault_specs,
+        "render": _fault_render,
+    },
+}
+
+
+def build_study(experiment: str, args) -> Study:
+    """Build the :class:`Study` for a named experiment preset."""
+    if experiment not in EXPERIMENTS:
+        raise ExperimentError(
+            f"unknown experiment {experiment!r}; see `python -m repro list`"
+        )
+    specs = EXPERIMENTS[experiment]["specs"](args)
+    store = None if args.no_store else args.out
+    return Study(specs, name=experiment, store=store, jobs=args.jobs)
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="Reproduce the paper's figures and benchmarks.",
+    )
+    commands = parser.add_subparsers(dest="command")
+
+    commands.add_parser("list", help="list the available experiments")
+
+    run = commands.add_parser("run", help="run one experiment preset")
+    run.add_argument("experiment", choices=sorted(EXPERIMENTS))
+    run.add_argument(
+        "--n", action="append", metavar="N[,N...]",
+        help="population size(s); repeatable or comma-separated",
+    )
+    run.add_argument("--seeds", type=int, default=None,
+                     help="independent seeded runs per (variant, n) cell")
+    run.add_argument("--engine", default=None,
+                     help="simulation engine (reference | array | aggregate)")
+    run.add_argument("--jobs", type=int, default=1,
+                     help="worker processes for the cell fan-out (default 1)")
+    run.add_argument("--out", default="results",
+                     help="result-store root directory (default: results/)")
+    run.add_argument("--no-store", action="store_true",
+                     help="do not persist results (also disables resume)")
+    run.add_argument("--seed", type=int, default=0, help="root random seed")
+    run.add_argument("--max-factor", type=float, default=None,
+                     help="interaction budget per run, in units of n²")
+    run.add_argument("--samples", type=int, default=240,
+                     help="figure2: metric snapshots across the budget")
+    run.add_argument("--fractions", default=None,
+                     help="figure3: comma-separated ranked fractions")
+    run.add_argument("--workload", default="fresh",
+                     choices=("fresh", "corrupted"),
+                     help="comparison: starting configuration family")
+    run.add_argument("--protocols", default=None,
+                     help="comparison: comma-separated protocol names")
+    run.add_argument("--faults", default=None,
+                     help="fault_injection: comma-separated fault models")
+    run.add_argument("--no-plot", action="store_true",
+                     help="figure2: omit the ASCII plots")
+    run.add_argument("--quiet", action="store_true",
+                     help="suppress per-cell progress lines")
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """Command-line entry point; returns the process exit code."""
+    parser = _build_parser()
+    args = parser.parse_args(argv)
+
+    if args.command == "list" or args.command is None:
+        width = max(len(name) for name in EXPERIMENTS)
+        for name in sorted(EXPERIMENTS):
+            print(f"  {name:<{width}}  {EXPERIMENTS[name]['help']}")
+        if args.command is None:
+            print("\nusage: python -m repro run <experiment> [options]")
+        return 0
+
+    try:
+        study = build_study(args.experiment, args)
+    except ExperimentError as error:
+        parser.error(str(error))
+        return 2  # pragma: no cover - parser.error raises SystemExit
+
+    def progress(row, done, total):
+        if not args.quiet:
+            print(
+                f"[{done}/{total}] {row['variant']} n={row['n']} "
+                f"seed={row['seed_index']} interactions={row['interactions']} "
+                f"converged={row['converged']}",
+                flush=True,
+            )
+
+    try:
+        result = study.run(progress=progress)
+    except ExperimentError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1
+
+    exit_code = 0
+    try:
+        print(EXPERIMENTS[args.experiment]["render"](result, args))
+    except ExperimentError as error:
+        # Rendering can legitimately fail (e.g. a seed missed a milestone
+        # within budget); the computed rows are still valid and persisted,
+        # so report the problem but keep the store pointers visible.
+        print(f"error: {error}", file=sys.stderr)
+        exit_code = 1
+    if study.store is not None:
+        result.to_json(study.store.directory / "result.json")
+        print(f"\nresult store: {study.store.directory}")
+        print(f"  rows:   {study.store.rows_path}")
+        print(f"  csv:    {study.store.directory / 'rows.csv'}")
+        print(f"  json:   {study.store.directory / 'result.json'}")
+    return exit_code

@@ -12,12 +12,17 @@ implementations (plus ``StableRanking`` itself) from the same initial
 conditions — either the designated fresh start or an adversarially corrupted
 ranking — and pairs them with each protocol's overhead-state count, giving
 the full comparison in one table.
+
+The experiment is a preset over the declarative study API — one spec per
+protocol family (:func:`comparison_specs`, ``python -m repro run
+comparison``); :func:`run_comparison` remains as a deprecated shim.
 """
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Sequence
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from ..analysis.statistics import summarize
 from ..baselines.burman_ranking import BurmanStyleRanking
@@ -26,10 +31,16 @@ from ..core.errors import ExperimentError
 from ..core.rng import RandomState
 from ..protocols.ranking.stable_ranking import StableRanking
 from .ascii_plot import format_table
-from .harness import ExperimentRunner
-from .workloads import duplicate_rank_configuration
+from .study import ExperimentSpec, ResultSet, Study
+from ._shims import coerce_seed
 
-__all__ = ["ComparisonResult", "run_comparison", "format_comparison"]
+__all__ = [
+    "ComparisonResult",
+    "comparison_specs",
+    "comparison_result_from_rows",
+    "run_comparison",
+    "format_comparison",
+]
 
 #: Protocol factories by name; every factory takes the population size.
 PROTOCOL_FAMILIES: Dict[str, Callable[[int], object]] = {
@@ -70,6 +81,75 @@ class ComparisonResult:
         return rows
 
 
+def comparison_specs(
+    n_values: Sequence[int] = (16, 32, 64),
+    repetitions: int = 5,
+    workload: str = "fresh",
+    protocols: Optional[Sequence[str]] = None,
+    max_interactions_factor: int = 400,
+    engine: str = "reference",
+    random_state: int = 0,
+) -> Tuple[ExperimentSpec, ...]:
+    """The baseline comparison as one spec per protocol family.
+
+    ``workload="fresh"`` starts every protocol from its designated initial
+    configuration; ``"corrupted"`` starts from a valid ranking with one
+    duplicated rank (a transient fault), which is meaningful only for the
+    self-stabilizing protocols and exercises their recovery path.
+    ``max_interactions_factor`` is the per-run budget in units of ``n²``
+    — the Cai baseline needs ``Θ(n³)`` interactions, so the factor must
+    comfortably exceed the largest population size used.
+    """
+    if workload not in ("fresh", "corrupted"):
+        raise ExperimentError(f"unknown workload {workload!r}")
+    names = list(protocols) if protocols is not None else list(PROTOCOL_FAMILIES)
+    for name in names:
+        if name not in PROTOCOL_FAMILIES:
+            raise ExperimentError(f"unknown protocol {name!r}")
+    spec_workload = "fresh" if workload == "fresh" else "duplicate_rank"
+    return tuple(
+        ExperimentSpec(
+            variant=name,
+            protocol=name,
+            n_values=tuple(n_values),
+            seeds=repetitions,
+            engine=engine,
+            workload=spec_workload,
+            max_interactions_factor=float(max_interactions_factor),
+            random_state=random_state,
+        )
+        for name in names
+    )
+
+
+def comparison_result_from_rows(
+    result: ResultSet, workload: str = "fresh"
+) -> ComparisonResult:
+    """Convert a study result set into the legacy :class:`ComparisonResult`."""
+    first = result.specs[0]
+    out = ComparisonResult(
+        n_values=tuple(first.n_values),
+        repetitions=first.seeds,
+        workload=workload,
+    )
+    for spec in result.specs:
+        factory = PROTOCOL_FAMILIES[spec.protocol]
+        for n in spec.n_values:
+            rows = result.filter(variant=spec.variant, n=n).rows
+            key = (spec.variant, n)
+            out.times[key] = [row.interactions for row in rows]
+            out.convergence[key] = (
+                sum(row.converged for row in rows) / len(rows) if rows else 0.0
+            )
+            protocol = factory(n)
+            out.overhead[key] = (
+                protocol.overhead_states()
+                if hasattr(protocol, "overhead_states")
+                else -1
+            )
+    return out
+
+
 def run_comparison(
     n_values: Sequence[int] = (16, 32, 64),
     repetitions: int = 5,
@@ -80,54 +160,29 @@ def run_comparison(
 ) -> ComparisonResult:
     """Run the baseline comparison.
 
-    Parameters
-    ----------
-    workload:
-        ``"fresh"`` starts every protocol from its designated initial
-        configuration; ``"corrupted"`` starts from a valid ranking with one
-        duplicated rank (a transient fault), which is meaningful only for the
-        self-stabilizing protocols and exercises their recovery path.
-    max_interactions_factor:
-        Interaction budget per run, in units of ``n²`` — the Cai baseline
-        needs ``Θ(n³)`` interactions, so the factor must comfortably exceed
-        the largest population size used.
+    .. deprecated::
+        Thin shim over :class:`~repro.experiments.study.Study`; build the
+        specs with :func:`comparison_specs` (or use ``python -m repro run
+        comparison``) to get parallel seed fan-out and the result store.
     """
-    if workload not in ("fresh", "corrupted"):
-        raise ExperimentError(f"unknown workload {workload!r}")
-    names = list(protocols) if protocols is not None else list(PROTOCOL_FAMILIES)
-    for name in names:
-        if name not in PROTOCOL_FAMILIES:
-            raise ExperimentError(f"unknown protocol {name!r}")
-
-    result = ComparisonResult(
-        n_values=tuple(n_values), repetitions=repetitions, workload=workload
+    warnings.warn(
+        "run_comparison is deprecated; use Study(comparison_specs(...)) or "
+        "`python -m repro run comparison`",
+        DeprecationWarning,
+        stacklevel=2,
     )
-    for n in n_values:
-        for name in names:
-            factory = PROTOCOL_FAMILIES[name]
-            if workload == "fresh":
-                configuration_factory = None
-            else:
-                configuration_factory = (
-                    lambda protocol, n=n: duplicate_rank_configuration(
-                        n, random_state=hash((n, protocol.name)) & 0x7FFFFFFF
-                    )
-                )
-            runner = ExperimentRunner(
-                protocol_factory=lambda factory=factory, n=n: factory(n),
-                configuration_factory=configuration_factory,
-                max_interactions=max_interactions_factor * n * n,
-                random_state=(hash((name, n, str(random_state))) & 0x7FFFFFFF),
-            )
-            sweep = runner.run(repetitions=repetitions)
-            key = (name, n)
-            result.times[key] = [record.interactions for record in sweep.records]
-            result.convergence[key] = sweep.convergence_rate()
-            protocol = factory(n)
-            result.overhead[key] = (
-                protocol.overhead_states() if hasattr(protocol, "overhead_states") else -1
-            )
-    return result
+    if repetitions < 1:
+        raise ExperimentError("repetitions must be positive")
+    specs = comparison_specs(
+        n_values=n_values,
+        repetitions=repetitions,
+        workload=workload,
+        protocols=protocols,
+        max_interactions_factor=max_interactions_factor,
+        random_state=coerce_seed(random_state),
+    )
+    result = Study(specs, name="comparison").run()
+    return comparison_result_from_rows(result, workload=workload)
 
 
 def format_comparison(result: ComparisonResult) -> str:

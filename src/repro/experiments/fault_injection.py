@@ -14,28 +14,33 @@ system running ``StableRanking``:
 
 For each fault the experiment measures the number of interactions until the
 population is back in a clean legal configuration.
+
+The experiment is a preset over the declarative study API — one spec per
+fault model (:func:`fault_injection_specs`, ``python -m repro run
+fault_injection``); :func:`run_fault_injection` remains as a deprecated
+shim.
 """
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass, field
-from typing import Dict, List, Sequence
-
-import numpy as np
+from typing import Dict, List, Sequence, Tuple
 
 from ..analysis.statistics import summarize
 from ..core.errors import ExperimentError
-from ..core.rng import RandomState, spawn_seeds
-from ..core.simulation import Simulator
-from ..protocols.ranking.stable_ranking import StableRanking
+from ..core.rng import RandomState
 from .ascii_plot import format_table
-from .workloads import (
-    adversarial_configuration,
-    duplicate_rank_configuration,
-    missing_rank_configuration,
-)
+from .study import ExperimentSpec, ResultSet, Study
+from ._shims import coerce_seed
 
-__all__ = ["FaultInjectionResult", "run_fault_injection", "format_fault_injection"]
+__all__ = [
+    "FaultInjectionResult",
+    "fault_injection_specs",
+    "fault_injection_result_from_rows",
+    "run_fault_injection",
+    "format_fault_injection",
+]
 
 FAULT_MODELS = ("duplicate_rank", "missing_rank", "adversarial")
 
@@ -69,6 +74,58 @@ class FaultInjectionResult:
         return rows
 
 
+def fault_injection_specs(
+    n_values: Sequence[int] = (32, 64),
+    repetitions: int = 5,
+    faults: Sequence[str] = FAULT_MODELS,
+    max_interactions_factor: int = 400,
+    l_max: int | None = None,
+    engine: str = "reference",
+    random_state: int = 0,
+) -> Tuple[ExperimentSpec, ...]:
+    """The fault-injection study as one spec per fault model.
+
+    Every fault model is a workload over the same protocol family, so the
+    study is simply three variants of ``StableRanking`` with different
+    initial-configuration builders.
+    """
+    for fault in faults:
+        if fault not in FAULT_MODELS:
+            raise ExperimentError(f"unknown fault model {fault!r}")
+    params = {} if l_max is None else {"l_max": l_max}
+    return tuple(
+        ExperimentSpec(
+            variant=fault,
+            protocol="stable-ranking",
+            n_values=tuple(n_values),
+            seeds=repetitions,
+            engine=engine,
+            workload=fault,
+            protocol_params=params,
+            max_interactions_factor=float(max_interactions_factor),
+            random_state=random_state,
+        )
+        for fault in faults
+    )
+
+
+def fault_injection_result_from_rows(result: ResultSet) -> FaultInjectionResult:
+    """Convert a study result set into the legacy :class:`FaultInjectionResult`."""
+    first = result.specs[0]
+    out = FaultInjectionResult(
+        n_values=tuple(first.n_values), repetitions=first.seeds
+    )
+    for spec in result.specs:
+        for n in spec.n_values:
+            rows = result.filter(variant=spec.variant, n=n).rows
+            key = (spec.variant, n)
+            out.recovery[key] = [row.interactions for row in rows]
+            out.convergence[key] = (
+                sum(row.converged for row in rows) / len(rows) if rows else 0.0
+            )
+    return out
+
+
 def run_fault_injection(
     n_values: Sequence[int] = (32, 64),
     repetitions: int = 5,
@@ -77,43 +134,34 @@ def run_fault_injection(
     random_state: RandomState = 0,
     l_max: int | None = None,
 ) -> FaultInjectionResult:
-    """Measure recovery times of ``StableRanking`` under injected faults."""
-    for fault in faults:
-        if fault not in FAULT_MODELS:
-            raise ExperimentError(f"unknown fault model {fault!r}")
+    """Measure recovery times of ``StableRanking`` under injected faults.
+
+    .. deprecated::
+        Thin shim over :class:`~repro.experiments.study.Study`; build the
+        specs with :func:`fault_injection_specs` (or use ``python -m repro
+        run fault_injection``) to get parallel seed fan-out and the result
+        store.
+    """
+    warnings.warn(
+        "run_fault_injection is deprecated; use "
+        "Study(fault_injection_specs(...)) or "
+        "`python -m repro run fault_injection`",
+        DeprecationWarning,
+        stacklevel=2,
+    )
     if repetitions < 1:
         raise ExperimentError("repetitions must be positive")
-
-    result = FaultInjectionResult(n_values=tuple(n_values), repetitions=repetitions)
-    for n in n_values:
-        for fault in faults:
-            seeds = spawn_seeds((hash((fault, n, str(random_state))) & 0x7FFFFFFF), repetitions)
-            times: List[int] = []
-            recovered = 0
-            for seed in seeds:
-                rng = np.random.default_rng(seed)
-                protocol = StableRanking(n, l_max=l_max)
-                configuration = _faulty_configuration(fault, protocol, rng)
-                simulator = Simulator(
-                    protocol, configuration=configuration, random_state=rng
-                )
-                outcome = simulator.run(
-                    max_interactions=max_interactions_factor * n * n
-                )
-                times.append(outcome.interactions)
-                recovered += int(outcome.converged)
-            result.recovery[(fault, n)] = times
-            result.convergence[(fault, n)] = recovered / repetitions
-    return result
-
-
-def _faulty_configuration(fault: str, protocol: StableRanking, rng: np.random.Generator):
-    if fault == "duplicate_rank":
-        return duplicate_rank_configuration(protocol.n, duplicates=1, random_state=rng)
-    if fault == "missing_rank":
-        missing = int(rng.integers(1, protocol.n + 1))
-        return missing_rank_configuration(protocol, missing_rank=missing)
-    return adversarial_configuration(protocol, random_state=rng)
+    specs = fault_injection_specs(
+        n_values=n_values,
+        repetitions=repetitions,
+        faults=faults,
+        max_interactions_factor=max_interactions_factor,
+        l_max=l_max,
+        random_state=coerce_seed(random_state),
+    )
+    return fault_injection_result_from_rows(
+        Study(specs, name="fault-injection").run()
+    )
 
 
 def format_fault_injection(result: FaultInjectionResult) -> str:

@@ -11,31 +11,33 @@ Expected shape (the constants depend on the counter sizes): a long flat
 prefix while the liveness counter drains, a reset that drops the ranked
 count to zero, a quick recovery of most ranks, and a long tail for the final
 few agents while the average phase climbs towards ``⌈log₂ n⌉``.
+
+The experiment is a preset over the declarative study API: see
+:func:`figure2_specs` for the spec and
+``python -m repro run figure2`` for the command-line entry point.
+:func:`run_figure2` remains as a deprecated shim with its original
+signature.
 """
 
 from __future__ import annotations
 
-import math
+import warnings
 from dataclasses import dataclass
-from typing import List, Optional
+from typing import List, Optional, Sequence, Tuple
 
-from ..core.metrics import MetricsCollector, standard_ranking_probes
+from ..core.errors import ExperimentError
 from ..core.rng import RandomState
-from ..core.simulation import Simulator
-from ..protocols.ranking.stable_ranking import StableRanking
 from .ascii_plot import ascii_plot, format_table
-from .workloads import figure2_initial_configuration
+from .study import PAPER_COUNTER_SCALE, ExperimentSpec, ResultSet, RunRow, Study
+from ._shims import coerce_seed
 
-__all__ = ["Figure2Result", "run_figure2", "format_figure2"]
-
-#: Scale of the maximum liveness counter (``L_max = scale · log₂ n``) used by
-#: the Figure 2 workload.  The initial drain of the counter takes about
-#: ``L_max / 2`` interactions per ordered pair, i.e. ``≈ scale/2 · log₂(n)``
-#: times ``n²`` interactions; with scale 6 and ``n = 256`` the reset lands
-#: around ``24 n²``, matching the paper's figure, while keeping the
-#: probability of spurious liveness resets during the subsequent re-ranking
-#: negligible (it decays geometrically in ``L_max``).
-PAPER_COUNTER_SCALE = 6.0
+__all__ = [
+    "Figure2Result",
+    "figure2_specs",
+    "figure2_result_from_rows",
+    "run_figure2",
+    "format_figure2",
+]
 
 
 @dataclass
@@ -71,6 +73,66 @@ class Figure2Result:
         ]
 
 
+def figure2_specs(
+    n_values: Sequence[int] = (256,),
+    seeds: int = 1,
+    c_wait: float = 2.0,
+    c_live: float = 4.0,
+    max_normalized_interactions: float = 200.0,
+    samples: int = 240,
+    l_max: Optional[int] = None,
+    engine: str = "reference",
+    random_state: int = 0,
+) -> Tuple[ExperimentSpec, ...]:
+    """The Figure 2 scenario as a declarative spec.
+
+    The protocol factory ``stable-ranking-figure2`` applies the paper's
+    liveness-counter parameterization ``L_max = ⌈6 · log₂ n⌉`` per
+    population size unless ``l_max`` overrides it.
+    """
+    params = {"c_wait": c_wait, "c_live": c_live}
+    if l_max is not None:
+        params["l_max"] = l_max
+    return (
+        ExperimentSpec(
+            variant="figure2",
+            protocol="stable-ranking-figure2",
+            n_values=tuple(n_values),
+            seeds=seeds,
+            engine=engine,
+            workload="figure2",
+            protocol_params=params,
+            max_interactions_factor=max_normalized_interactions,
+            samples=samples,
+            random_state=random_state,
+        ),
+    )
+
+
+def figure2_result_from_rows(result: ResultSet, n: Optional[int] = None,
+                             seed_index: int = 0) -> Figure2Result:
+    """Extract one run's :class:`Figure2Result` from a study result set."""
+    rows = result.rows if n is None else result.filter(n=n).rows
+    row: Optional[RunRow] = next(
+        (r for r in rows if r.seed_index == seed_index), None
+    )
+    if row is None:
+        raise ExperimentError(
+            f"result set has no Figure 2 cell for n={n}, seed {seed_index}"
+        )
+    ranked = row.series["ranked_agents"]
+    phase = row.series["average_phase"]
+    return Figure2Result(
+        n=row.n,
+        interactions=list(ranked["interactions"]),
+        ranked_agents=list(ranked["values"]),
+        average_phase=list(phase["values"]),
+        total_interactions=row.interactions,
+        resets=row.resets,
+        converged=row.converged,
+    )
+
+
 def run_figure2(
     n: int = 256,
     c_wait: float = 2.0,
@@ -82,46 +144,28 @@ def run_figure2(
 ) -> Figure2Result:
     """Run the Figure 2 scenario once and return the recorded series.
 
-    Parameters
-    ----------
-    n, c_wait, c_live:
-        The paper's parameters (256, 2, 4).
-    max_normalized_interactions:
-        Interaction budget in units of ``n²`` (the run also stops at
-        convergence, whichever comes first... the budget exists so a
-        pathological seed cannot hang a benchmark).
-    samples:
-        Number of metric snapshots across the budget.
-    l_max:
-        Maximum counter value; defaults to ``⌈PAPER_COUNTER_SCALE · log₂ n⌉``
-        to match the paper's parameterization.
+    .. deprecated::
+        Thin shim over :class:`~repro.experiments.study.Study`; build the
+        specs with :func:`figure2_specs` (or use ``python -m repro run
+        figure2``) to get seed fan-out, parallelism and the result store.
     """
-    if l_max is None:
-        l_max = max(8, int(math.ceil(PAPER_COUNTER_SCALE * math.log2(n))))
-    protocol = StableRanking(n, c_wait=c_wait, c_live=c_live, l_max=l_max)
-    configuration = figure2_initial_configuration(protocol)
-    budget = int(max_normalized_interactions * n * n)
-    interval = max(1, budget // max(samples, 1))
-    metrics = MetricsCollector(standard_ranking_probes(), interval=interval)
-    simulator = Simulator(
-        protocol,
-        configuration=configuration,
-        random_state=random_state,
-        metrics=metrics,
+    warnings.warn(
+        "run_figure2 is deprecated; use Study(figure2_specs(...)) or "
+        "`python -m repro run figure2`",
+        DeprecationWarning,
+        stacklevel=2,
     )
-    result = simulator.run(max_interactions=budget, stop_on_convergence=True)
-
-    ranked_series = metrics.get("ranked_agents")
-    phase_series = metrics.get("average_phase")
-    return Figure2Result(
-        n=n,
-        interactions=list(ranked_series.interactions),
-        ranked_agents=list(ranked_series.values),
-        average_phase=list(phase_series.values),
-        total_interactions=result.interactions,
-        resets=result.resets,
-        converged=result.converged,
+    specs = figure2_specs(
+        n_values=(n,),
+        c_wait=c_wait,
+        c_live=c_live,
+        max_normalized_interactions=max_normalized_interactions,
+        samples=samples,
+        l_max=l_max,
+        random_state=coerce_seed(random_state),
     )
+    result = Study(specs, name="figure2").run()
+    return figure2_result_from_rows(result)
 
 
 def format_figure2(result: Figure2Result, plot: bool = True) -> str:

@@ -19,25 +19,33 @@ Two engines are available:
   which handles the paper's full range of population sizes in seconds;
 * ``"reference"`` — the agent-level simulator, practical up to ``n ≈ 512``
   and used to validate the aggregate engine.
+
+The experiment is a preset over the declarative study API
+(:func:`figure3_specs`, ``python -m repro run figure3``);
+:func:`run_figure3` remains as a deprecated shim.
 """
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass, field
-from typing import Dict, List, Sequence
-
-import numpy as np
+from typing import Dict, List, Sequence, Tuple
 
 from ..analysis.statistics import summarize
 from ..core.errors import ExperimentError
-from ..core.rng import RandomState, spawn_seeds
-from ..core.simulation import Simulator
-from ..protocols.ranking.aggregate_space_efficient import AggregateSpaceEfficientRanking
-from ..protocols.ranking.space_efficient import SpaceEfficientRanking
+from ..core.rng import RandomState
 from .ascii_plot import format_table
-from .workloads import figure3_initial_configuration
+from .study import ExperimentSpec, ResultSet, Study
+from ._shims import coerce_seed
 
-__all__ = ["Figure3Result", "run_figure3", "format_figure3", "PAPER_FRACTIONS"]
+__all__ = [
+    "Figure3Result",
+    "figure3_specs",
+    "figure3_result_from_rows",
+    "run_figure3",
+    "format_figure3",
+    "PAPER_FRACTIONS",
+]
 
 #: The ranked fractions reported in the paper's Figure 3.
 PAPER_FRACTIONS = (0.5, 0.75, 0.875, 0.9375)
@@ -87,6 +95,60 @@ class Figure3Result:
         }
 
 
+def figure3_specs(
+    n_values: Sequence[int] = PAPER_POPULATION_SIZES,
+    fractions: Sequence[float] = PAPER_FRACTIONS,
+    repetitions: int = 100,
+    engine: str = "aggregate",
+    c_wait: float = 2.0,
+    max_interactions_factor: float = 500.0,
+    random_state: int = 0,
+) -> Tuple[ExperimentSpec, ...]:
+    """The Figure 3 sweep as a declarative spec."""
+    if engine not in ("aggregate", "reference", "array"):
+        raise ExperimentError(f"unknown engine {engine!r}")
+    return (
+        ExperimentSpec(
+            variant="figure3",
+            protocol="space-efficient-ranking",
+            n_values=tuple(n_values),
+            seeds=repetitions,
+            engine=engine,
+            workload="figure3",
+            protocol_params={"c_wait": c_wait},
+            max_interactions_factor=float(max_interactions_factor),
+            milestone_fractions=tuple(fractions),
+            random_state=random_state,
+        ),
+    )
+
+
+def figure3_result_from_rows(result: ResultSet) -> Figure3Result:
+    """Convert a study result set into the legacy :class:`Figure3Result`."""
+    spec = result.specs[0]
+    fractions = tuple(spec.milestone_fractions)
+    out = Figure3Result(
+        fractions=fractions,
+        n_values=tuple(spec.n_values),
+        repetitions=spec.seeds,
+        engine=spec.engine,
+    )
+    for n in spec.n_values:
+        per_fraction: Dict[float, List[float]] = {f: [] for f in fractions}
+        for row in result.filter(n=n).rows:
+            if not row.converged:
+                raise ExperimentError(
+                    f"Figure 3 run for n={n} (seed {row.seed_index}) did not "
+                    f"reach every fraction within budget"
+                )
+            for fraction in fractions:
+                per_fraction[fraction].append(
+                    row.milestones[f"ranked_{fraction}"] / float(n * n)
+                )
+        out.samples[n] = per_fraction
+    return out
+
+
 def run_figure3(
     n_values: Sequence[int] = PAPER_POPULATION_SIZES,
     fractions: Sequence[float] = PAPER_FRACTIONS,
@@ -95,66 +157,32 @@ def run_figure3(
     c_wait: float = 2.0,
     random_state: RandomState = 0,
 ) -> Figure3Result:
-    """Run the Figure 3 sweep and collect normalized milestone times."""
+    """Run the Figure 3 sweep and collect normalized milestone times.
+
+    .. deprecated::
+        Thin shim over :class:`~repro.experiments.study.Study`; build the
+        specs with :func:`figure3_specs` (or use ``python -m repro run
+        figure3``) to get parallel seed fan-out and the result store.
+    """
+    warnings.warn(
+        "run_figure3 is deprecated; use Study(figure3_specs(...)) or "
+        "`python -m repro run figure3`",
+        DeprecationWarning,
+        stacklevel=2,
+    )
     if engine not in ("aggregate", "reference"):
         raise ExperimentError(f"unknown engine {engine!r}")
     if repetitions < 1:
         raise ExperimentError("repetitions must be positive")
-    fractions = tuple(sorted(fractions))
-    result = Figure3Result(
+    specs = figure3_specs(
+        n_values=n_values,
         fractions=fractions,
-        n_values=tuple(n_values),
         repetitions=repetitions,
         engine=engine,
+        c_wait=c_wait,
+        random_state=coerce_seed(random_state),
     )
-    for n in n_values:
-        seeds = spawn_seeds((hash((int(n), str(random_state))) & 0x7FFFFFFF), repetitions)
-        per_fraction: Dict[float, List[float]] = {fraction: [] for fraction in fractions}
-        for seed in seeds:
-            rng = np.random.default_rng(seed)
-            if engine == "aggregate":
-                milestones = _run_aggregate(n, fractions, c_wait, rng)
-            else:
-                milestones = _run_reference(n, fractions, c_wait, rng)
-            for fraction, interactions in milestones.items():
-                per_fraction[fraction].append(interactions / float(n * n))
-        result.samples[n] = per_fraction
-    return result
-
-
-def _run_aggregate(
-    n: int, fractions: Sequence[float], c_wait: float, rng: np.random.Generator
-) -> Dict[float, int]:
-    simulator = AggregateSpaceEfficientRanking(n, c_wait=c_wait, random_state=rng)
-    milestones = simulator.milestone_predicates(fractions)
-    outcome = simulator.run(max_interactions=10**15, milestones=milestones)
-    if not outcome.converged:
-        raise ExperimentError(f"aggregate Figure 3 run for n={n} did not finish")
-    return {
-        fraction: outcome.milestones[f"ranked_{fraction}"] for fraction in fractions
-    }
-
-
-def _run_reference(
-    n: int, fractions: Sequence[float], c_wait: float, rng: np.random.Generator
-) -> Dict[float, int]:
-    protocol = SpaceEfficientRanking(n, c_wait=c_wait)
-    configuration = figure3_initial_configuration(protocol)
-    simulator = Simulator(protocol, configuration=configuration, random_state=rng)
-    budget = 500 * n * n
-    milestones: Dict[float, int] = {}
-    for fraction in sorted(fractions):
-        threshold = fraction * n
-        outcome = simulator.run_until(
-            lambda config, threshold=threshold: config.ranked_count() >= threshold,
-            max_interactions=budget - simulator.interactions,
-        )
-        if not outcome.converged:
-            raise ExperimentError(
-                f"reference Figure 3 run for n={n} missed fraction {fraction}"
-            )
-        milestones[fraction] = simulator.interactions
-    return milestones
+    return figure3_result_from_rows(Study(specs, name="figure3").run())
 
 
 def format_figure3(result: Figure3Result) -> str:

@@ -2,35 +2,41 @@
 
 Theorem 1 states that the non-self-stabilizing protocol reaches a valid
 ranking in ``O(n² log n)`` interactions w.h.p.  This experiment measures the
-full stabilization time (from the designated initial configuration, i.e.
-including leader election) for a range of population sizes and reports it
+full stabilization time for a range of population sizes and reports it
 normalized by ``n² log₂ n``: if the theorem's shape holds, the normalized
 values are roughly constant across ``n``.
 
 The aggregate engine starts from the Figure 3 configuration (leader already
-elected); the reference engine runs the complete protocol including leader
-election.  Both are exposed because the leader-election prefix is ``o(n²)``
-and does not affect the asymptotics.
+elected); the reference and array engines run the complete protocol
+including leader election.  Both are exposed because the leader-election
+prefix is ``o(n²)`` and does not affect the asymptotics.
+
+The experiment is a preset over the declarative study API
+(:func:`scaling_specs`, ``python -m repro run scaling``);
+:func:`run_scaling` remains as a deprecated shim.
 """
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass, field
-from typing import Dict, List, Sequence
-
-import numpy as np
+from typing import Dict, List, Sequence, Tuple
 
 from ..analysis.statistics import summarize
 from ..analysis.theory import normalized_stabilization_time
-from ..core.array_engine import ArraySimulator, EngineCache
 from ..core.errors import ExperimentError
-from ..core.rng import RandomState, spawn_seeds
-from ..core.simulation import Simulator
-from ..protocols.ranking.aggregate_space_efficient import AggregateSpaceEfficientRanking
-from ..protocols.ranking.space_efficient import SpaceEfficientRanking
+from ..core.rng import RandomState
 from .ascii_plot import format_table
+from .study import ExperimentSpec, ResultSet, Study
+from ._shims import coerce_seed
 
-__all__ = ["ScalingResult", "run_scaling", "format_scaling"]
+__all__ = [
+    "ScalingResult",
+    "scaling_specs",
+    "scaling_result_from_rows",
+    "run_scaling",
+    "format_scaling",
+]
 
 
 @dataclass
@@ -67,6 +73,59 @@ class ScalingResult:
         return rows
 
 
+def scaling_specs(
+    n_values: Sequence[int] = (64, 128, 256, 512, 1024),
+    repetitions: int = 20,
+    engine: str = "aggregate",
+    c_wait: float = 2.0,
+    max_interactions_factor: float = 2000.0,
+    random_state: int = 0,
+) -> Tuple[ExperimentSpec, ...]:
+    """The stabilization-time scaling sweep as a declarative spec.
+
+    ``engine`` selects how each run is simulated: ``"aggregate"`` (the
+    exact event-driven engine, fastest and the paper-scale default),
+    ``"reference"`` (the agent-level simulator) or ``"array"`` (the
+    vectorized engine; ``SpaceEfficientRanking``'s GS leader-election
+    substrate consumes randomness, so it runs on the object fallback path
+    — exposed for cross-engine validation rather than speed).
+    """
+    if engine not in ("aggregate", "reference", "array"):
+        raise ExperimentError(f"unknown engine {engine!r}")
+    workload = "figure3" if engine == "aggregate" else "fresh"
+    return (
+        ExperimentSpec(
+            variant="scaling",
+            protocol="space-efficient-ranking",
+            n_values=tuple(n_values),
+            seeds=repetitions,
+            engine=engine,
+            workload=workload,
+            protocol_params={"c_wait": c_wait},
+            max_interactions_factor=float(max_interactions_factor),
+            random_state=random_state,
+        ),
+    )
+
+
+def scaling_result_from_rows(result: ResultSet) -> ScalingResult:
+    """Convert a study result set into the legacy :class:`ScalingResult`."""
+    spec = result.specs[0]
+    out = ScalingResult(
+        n_values=tuple(spec.n_values),
+        repetitions=spec.seeds,
+        engine=spec.engine,
+    )
+    for n in spec.n_values:
+        times: List[int] = []
+        for row in result.filter(n=n).rows:
+            if not row.converged:
+                raise ExperimentError(f"scaling run for n={n} did not stabilize")
+            times.append(row.interactions)
+        out.interactions[n] = times
+    return out
+
+
 def run_scaling(
     n_values: Sequence[int] = (64, 128, 256, 512, 1024),
     repetitions: int = 20,
@@ -76,46 +135,27 @@ def run_scaling(
 ) -> ScalingResult:
     """Measure full stabilization times across population sizes.
 
-    ``engine`` selects how each run is simulated: ``"aggregate"`` (the exact
-    event-driven engine, fastest and the paper-scale default),
-    ``"reference"`` (the agent-level simulator) or ``"array"`` (the
-    vectorized :class:`~repro.core.array_engine.ArraySimulator`; for
-    ``SpaceEfficientRanking`` its GS leader-election substrate consumes
-    randomness, so the array engine runs on its object fallback path — it
-    is exposed here for cross-engine validation rather than speed).
+    .. deprecated::
+        Thin shim over :class:`~repro.experiments.study.Study`; build the
+        specs with :func:`scaling_specs` (or use ``python -m repro run
+        scaling``) to get parallel seed fan-out and the result store.
     """
-    if engine not in ("aggregate", "reference", "array"):
-        raise ExperimentError(f"unknown engine {engine!r}")
+    warnings.warn(
+        "run_scaling is deprecated; use Study(scaling_specs(...)) or "
+        "`python -m repro run scaling`",
+        DeprecationWarning,
+        stacklevel=2,
+    )
     if repetitions < 1:
         raise ExperimentError("repetitions must be positive")
-    result = ScalingResult(
-        n_values=tuple(n_values), repetitions=repetitions, engine=engine
+    specs = scaling_specs(
+        n_values=n_values,
+        repetitions=repetitions,
+        engine=engine,
+        c_wait=c_wait,
+        random_state=coerce_seed(random_state),
     )
-    for n in n_values:
-        seeds = spawn_seeds((hash((int(n), str(random_state), "scaling")) & 0x7FFFFFFF), repetitions)
-        times: List[int] = []
-        engine_cache = EngineCache() if engine == "array" else None
-        for seed in seeds:
-            rng = np.random.default_rng(seed)
-            if engine == "aggregate":
-                simulator = AggregateSpaceEfficientRanking(
-                    n, c_wait=c_wait, random_state=rng
-                )
-                outcome = simulator.run(max_interactions=10**15)
-            else:
-                protocol = SpaceEfficientRanking(n, c_wait=c_wait)
-                if engine == "array":
-                    simulator = ArraySimulator(
-                        protocol, random_state=rng, cache=engine_cache
-                    )
-                else:
-                    simulator = Simulator(protocol, random_state=rng)
-                outcome = simulator.run(max_interactions=2000 * n * n)
-            if not outcome.converged:
-                raise ExperimentError(f"scaling run for n={n} did not stabilize")
-            times.append(outcome.interactions)
-        result.interactions[n] = times
-    return result
+    return scaling_result_from_rows(Study(specs, name="scaling").run())
 
 
 def format_scaling(result: ScalingResult) -> str:

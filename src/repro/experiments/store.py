@@ -1,0 +1,131 @@
+"""Persistent result store for studies.
+
+A :class:`~repro.experiments.study.Study` is a matrix of independent,
+deterministically seeded simulation cells, so its natural persistence unit
+is the *cell row*: one JSON object per completed ``(variant, n, seed)``
+cell, appended to a line-delimited file as soon as the cell finishes.  The
+layout under the store root is::
+
+    <root>/
+      <study-name>-<hash12>/
+        spec.json        # the study's expanded specs + identity hash
+        rows.jsonl       # one completed cell per line, append-only
+        rows.csv         # flat export, rewritten on study completion
+
+``<hash12>`` is a content hash over the specs' *identity* fields — the
+protocol, its parameters, the engine, the workload, milestones, budget and
+root seed, but **not** the matrix extent (``n_values``, ``seeds``).
+Re-running a study therefore loads every already-computed cell instead of
+re-simulating it, and *extending* a study (more seeds, more population
+sizes) only computes the new cells.  Changing anything that affects a
+cell's trajectory re-keys the directory, so stale rows can never be
+mistaken for current ones.
+
+Only the standard library is used; rows are plain dictionaries
+(:meth:`~repro.experiments.study.RunRow.as_dict`).
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from ..core.errors import ExperimentError
+
+__all__ = ["ResultStore"]
+
+#: Key identifying a cell within a study: (variant, n, seed_index).
+CellKey = Tuple[str, int, int]
+
+
+class ResultStore:
+    """Append-only, resumable on-disk store for one study's rows.
+
+    Parameters
+    ----------
+    root:
+        Directory holding one subdirectory per study (created on demand).
+    name:
+        The study name (first path component of the study directory).
+    content_hash:
+        The study's identity hash (second component); computed by
+        :meth:`~repro.experiments.study.Study.content_hash`.
+    """
+
+    def __init__(self, root, name: str, content_hash: str):
+        if not name or any(sep in name for sep in "/\\"):
+            raise ExperimentError(f"invalid study name {name!r}")
+        self._root = Path(root)
+        self._directory = self._root / f"{name}-{content_hash}"
+        self._rows_path = self._directory / "rows.jsonl"
+        self._spec_path = self._directory / "spec.json"
+
+    @property
+    def directory(self) -> Path:
+        """The study's directory inside the store root."""
+        return self._directory
+
+    @property
+    def rows_path(self) -> Path:
+        """The append-only JSONL file holding completed cell rows."""
+        return self._rows_path
+
+    # ------------------------------------------------------------------
+    # Spec provenance
+    # ------------------------------------------------------------------
+    def write_spec(self, payload: dict) -> Path:
+        """Record the study's expanded spec (idempotent)."""
+        self._directory.mkdir(parents=True, exist_ok=True)
+        self._spec_path.write_text(
+            json.dumps(payload, indent=2, sort_keys=True) + "\n"
+        )
+        return self._spec_path
+
+    def read_spec(self) -> Optional[dict]:
+        """The recorded spec payload, or ``None`` if absent."""
+        if not self._spec_path.exists():
+            return None
+        return json.loads(self._spec_path.read_text())
+
+    # ------------------------------------------------------------------
+    # Rows
+    # ------------------------------------------------------------------
+    def append(self, row: dict) -> None:
+        """Persist one completed cell row (flushed immediately)."""
+        self._directory.mkdir(parents=True, exist_ok=True)
+        with self._rows_path.open("a") as handle:
+            handle.write(json.dumps(row, sort_keys=True) + "\n")
+
+    def load(self) -> Dict[CellKey, dict]:
+        """All persisted rows keyed by cell; later duplicates win.
+
+        Duplicates arise when a study is interrupted and re-run with an
+        overlapping matrix — the cells are deterministic, so any copy is
+        as good as any other.  A torn *final* line (a run killed
+        mid-append) is skipped, so an interrupted study stays resumable;
+        a malformed line anywhere else is real corruption and raises.
+        """
+        rows: Dict[CellKey, dict] = {}
+        if not self._rows_path.exists():
+            return rows
+        lines = [
+            line for line in self._rows_path.read_text().splitlines()
+            if line.strip()
+        ]
+        for index, line in enumerate(lines):
+            try:
+                row = json.loads(line)
+            except json.JSONDecodeError:
+                if index == len(lines) - 1:
+                    break
+                raise ExperimentError(
+                    f"corrupt row store {self._rows_path} "
+                    f"(malformed line {index + 1} of {len(lines)})"
+                )
+            rows[(row["variant"], int(row["n"]), int(row["seed_index"]))] = row
+        return rows
+
+    def completed(self) -> Iterable[CellKey]:
+        """Keys of every persisted cell."""
+        return self.load().keys()

@@ -1,0 +1,775 @@
+"""Declarative study API: one spec, a run matrix, one result schema.
+
+The paper's evaluation is statistical — convergence and milestone times
+over many independent seeded runs, across population sizes, protocols and
+engines — so the experiment layer treats ``variants × n × seeds`` as a
+first-class object instead of a hand-rolled loop per figure:
+
+* an :class:`ExperimentSpec` *names* everything a run needs — a protocol
+  factory and its parameters, a workload (initial-configuration family
+  from :mod:`repro.experiments.workloads`), an engine, milestones, metric
+  series, extractors — as plain JSON-serializable data;
+* a :class:`Study` expands one or more specs into a cell matrix, executes
+  the missing cells (serially or with multiprocess fan-out, see
+  :mod:`repro.experiments.parallel`), persists each finished cell through
+  a :class:`~repro.experiments.store.ResultStore`, and returns a
+  :class:`ResultSet` of unified :class:`RunRow` rows.
+
+Because specs are data and every cell's seed is derived deterministically
+from the spec identity and the cell coordinates (no Python ``hash()``,
+which is process-salted), a study is *reproducible across processes*:
+``--jobs 8`` produces bit-identical rows to a serial run, and re-running a
+finished study loads every cell from the store without simulating
+anything.  The legacy drivers (``run_figure2``, ``run_figure3``,
+``run_scaling``, ``run_comparison``, ``run_fault_injection``) are thin
+deprecation shims over this API, and ``python -m repro`` exposes the same
+presets on the command line.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import (
+    Callable,
+    Dict,
+    List,
+    Mapping,
+    Optional,
+    Sequence,
+    Tuple,
+    Union,
+)
+
+import math
+
+import numpy as np
+
+from ..analysis.statistics import RunSummary, summarize
+from ..baselines.burman_ranking import BurmanStyleRanking
+from ..baselines.cai_ranking import CaiRanking
+from ..baselines.token_counter_ranking import TokenCounterRanking
+from ..core.array_engine import ArraySimulator, EngineCache
+from ..core.errors import ExperimentError
+from ..core.metrics import MetricsCollector, standard_ranking_probes
+from ..core.simulation import Simulator
+from ..protocols.ranking.aggregate_space_efficient import (
+    AggregateSpaceEfficientRanking,
+)
+from ..protocols.ranking.space_efficient import SpaceEfficientRanking
+from ..protocols.ranking.stable_ranking import StableRanking
+from .store import ResultStore
+from . import workloads as _workloads
+
+__all__ = [
+    "ExperimentSpec",
+    "ResultSet",
+    "RunRow",
+    "Study",
+    "PROTOCOLS",
+    "WORKLOADS",
+    "EXTRACTORS",
+    "paper_l_max",
+]
+
+#: Scale of the maximum liveness counter used by the Figure 2 workload
+#: (``L_max = scale · log₂ n``); see :mod:`repro.experiments.figure2`.
+PAPER_COUNTER_SCALE = 6.0
+
+
+def paper_l_max(n: int) -> int:
+    """The Figure 2 liveness-counter bound ``⌈6 · log₂ n⌉`` (min 8)."""
+    return max(8, int(math.ceil(PAPER_COUNTER_SCALE * math.log2(n))))
+
+
+# ----------------------------------------------------------------------
+# Registries: specs name factories instead of holding callables, so a
+# spec pickles/serializes cleanly and a worker process can rebuild the
+# exact experiment from the spec dict alone.
+# ----------------------------------------------------------------------
+
+#: Protocol factories by name; each takes ``(n, **protocol_params)``.
+PROTOCOLS: Dict[str, Callable] = {
+    "stable-ranking": StableRanking,
+    "stable-ranking-figure2": lambda n, **params: StableRanking(
+        n, l_max=params.pop("l_max", None) or paper_l_max(n), **params
+    ),
+    "space-efficient-ranking": SpaceEfficientRanking,
+    "burman-style-ranking": BurmanStyleRanking,
+    "cai-ranking": CaiRanking,
+    "token-counter-ranking": TokenCounterRanking,
+}
+
+#: Workload (initial configuration) builders by name; each takes
+#: ``(protocol, rng, **workload_params)`` and returns a Configuration or
+#: ``None`` for the protocol's designated initial configuration.
+WORKLOADS: Dict[str, Callable] = {
+    "fresh": lambda protocol, rng, **params: None,
+    "figure2": lambda protocol, rng, **params: (
+        _workloads.figure2_initial_configuration(protocol)
+    ),
+    "figure3": lambda protocol, rng, **params: (
+        _workloads.figure3_initial_configuration(protocol)
+    ),
+    "duplicate_rank": lambda protocol, rng, **params: (
+        _workloads.duplicate_rank_configuration(
+            protocol.n, duplicates=params.get("duplicates", 1), random_state=rng
+        )
+    ),
+    "missing_rank": lambda protocol, rng, **params: (
+        _workloads.missing_rank_configuration(
+            protocol,
+            missing_rank=params.get("missing_rank")
+            or int(rng.integers(1, protocol.n + 1)),
+        )
+    ),
+    "adversarial": lambda protocol, rng, **params: (
+        _workloads.adversarial_configuration(protocol, random_state=rng)
+    ),
+}
+
+#: Per-run extractors by name: ``(result, simulator) -> {column: value}``.
+EXTRACTORS: Dict[str, Callable] = {
+    "ranked_agents": lambda result, simulator: {
+        "ranked_agents": float(result.configuration.ranked_count())
+    },
+    "duplicate_ranks": lambda result, simulator: {
+        "duplicate_ranks": float(len(result.configuration.duplicate_ranks()))
+    },
+    "overhead_states": lambda result, simulator: {
+        "overhead_states": float(simulator.protocol.overhead_states())
+        if hasattr(simulator.protocol, "overhead_states")
+        else -1.0
+    },
+}
+
+_ENGINES = ("reference", "array", "aggregate")
+
+
+# ----------------------------------------------------------------------
+# Spec
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class ExperimentSpec:
+    """One variant of a study, as plain declarative data.
+
+    A spec expands to ``len(n_values) × seeds`` independent cells.  All
+    fields are JSON-serializable; factories are referenced by name through
+    :data:`PROTOCOLS`, :data:`WORKLOADS` and :data:`EXTRACTORS` so a
+    worker process can reconstruct the experiment from the dict alone.
+
+    Parameters
+    ----------
+    variant:
+        Label distinguishing this spec's rows inside the study (protocol
+        name, fault model, …).
+    protocol:
+        Key into :data:`PROTOCOLS` (ignored by the ``aggregate`` engine,
+        which is itself the protocol).
+    n_values, seeds:
+        The matrix extent: population sizes × independent seeded runs.
+        Deliberately excluded from the spec's identity hash so a study
+        can be extended in place (see ``identity_dict``).
+    engine:
+        ``"reference"``, ``"array"`` or ``"aggregate"`` (the latter only
+        for ``space-efficient-ranking`` with the ``figure3`` workload).
+    workload:
+        Key into :data:`WORKLOADS` — the initial-configuration family.
+    protocol_params, workload_params:
+        Keyword arguments for the two factories.
+    max_interactions_factor:
+        Interaction budget per run in units of ``n²``.
+    stop_on_convergence:
+        Whether a run stops at the protocol's convergence predicate.
+    milestone_fractions:
+        Ranked fractions whose first-hit interaction counts are recorded
+        per run (the Figure 3 measurement).  When non-empty the run stops
+        after the last milestone instead of at convergence.
+    samples:
+        When positive, record the standard ranking probes as time series
+        with ``samples`` snapshots across the budget (the Figure 2
+        measurement).
+    extractors:
+        Names from :data:`EXTRACTORS` applied to each finished run.
+    random_state:
+        Root seed; every cell derives its generator deterministically
+        from this, the spec identity and the cell coordinates.
+    """
+
+    variant: str
+    protocol: str = "stable-ranking"
+    n_values: Tuple[int, ...] = (64,)
+    seeds: int = 1
+    engine: str = "reference"
+    workload: str = "fresh"
+    protocol_params: Mapping[str, object] = field(default_factory=dict)
+    workload_params: Mapping[str, object] = field(default_factory=dict)
+    max_interactions_factor: float = 400.0
+    stop_on_convergence: bool = True
+    milestone_fractions: Tuple[float, ...] = ()
+    samples: int = 0
+    extractors: Tuple[str, ...] = ()
+    random_state: int = 0
+
+    def __post_init__(self):
+        object.__setattr__(self, "n_values", tuple(int(n) for n in self.n_values))
+        object.__setattr__(
+            self,
+            "milestone_fractions",
+            tuple(sorted(float(f) for f in self.milestone_fractions)),
+        )
+        object.__setattr__(self, "extractors", tuple(self.extractors))
+        object.__setattr__(self, "protocol_params", dict(self.protocol_params))
+        object.__setattr__(self, "workload_params", dict(self.workload_params))
+        if self.engine not in _ENGINES:
+            raise ExperimentError(
+                f"unknown engine {self.engine!r}; expected one of {_ENGINES}"
+            )
+        if self.engine != "aggregate" and self.protocol not in PROTOCOLS:
+            raise ExperimentError(f"unknown protocol {self.protocol!r}")
+        if self.workload not in WORKLOADS:
+            raise ExperimentError(f"unknown workload {self.workload!r}")
+        for name in self.extractors:
+            if name not in EXTRACTORS:
+                raise ExperimentError(f"unknown extractor {name!r}")
+        if self.seeds < 1:
+            raise ExperimentError("seeds must be positive")
+        if not self.n_values:
+            raise ExperimentError("n_values must not be empty")
+        if self.max_interactions_factor <= 0:
+            raise ExperimentError("max_interactions_factor must be positive")
+        if self.engine == "aggregate":
+            if self.protocol != "space-efficient-ranking":
+                raise ExperimentError(
+                    "the aggregate engine only simulates space-efficient-ranking"
+                )
+            if self.workload != "figure3":
+                raise ExperimentError(
+                    "the aggregate engine starts from the figure3 workload"
+                )
+            if self.samples:
+                raise ExperimentError(
+                    "the aggregate engine does not record metric series"
+                )
+
+    def as_dict(self) -> dict:
+        """The full spec as JSON-ready data (matrix extent included)."""
+        return {
+            "variant": self.variant,
+            "protocol": self.protocol,
+            "n_values": list(self.n_values),
+            "seeds": self.seeds,
+            "engine": self.engine,
+            "workload": self.workload,
+            "protocol_params": dict(self.protocol_params),
+            "workload_params": dict(self.workload_params),
+            "max_interactions_factor": self.max_interactions_factor,
+            "stop_on_convergence": self.stop_on_convergence,
+            "milestone_fractions": list(self.milestone_fractions),
+            "samples": self.samples,
+            "extractors": list(self.extractors),
+            "random_state": self.random_state,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Mapping) -> "ExperimentSpec":
+        """Rebuild a spec from :meth:`as_dict` output."""
+        return cls(**payload)
+
+    def identity_dict(self) -> dict:
+        """The fields that determine a cell's trajectory.
+
+        Excludes the matrix extent (``n_values``, ``seeds``): a cell's
+        result depends only on its own coordinates, so extending the
+        matrix must not re-key the study's store.
+        """
+        payload = self.as_dict()
+        del payload["n_values"]
+        del payload["seeds"]
+        return payload
+
+    def identity_seed(self) -> int:
+        """A process-stable 63-bit integer derived from the identity."""
+        canonical = json.dumps(self.identity_dict(), sort_keys=True)
+        digest = hashlib.sha256(canonical.encode()).digest()
+        return int.from_bytes(digest[:8], "big") & 0x7FFF_FFFF_FFFF_FFFF
+
+
+# ----------------------------------------------------------------------
+# Rows and result sets
+# ----------------------------------------------------------------------
+@dataclass
+class RunRow:
+    """One completed cell of a study, in the unified result schema."""
+
+    study: str
+    variant: str
+    protocol: str
+    engine: str
+    n: int
+    seed_index: int
+    converged: bool
+    interactions: int
+    resets: int
+    extras: Dict[str, float] = field(default_factory=dict)
+    #: milestone name → first interaction count at which it held.
+    milestones: Dict[str, int] = field(default_factory=dict)
+    #: series name → {"interactions": [...], "values": [...]}.
+    series: Dict[str, Dict[str, list]] = field(default_factory=dict)
+
+    @property
+    def key(self) -> Tuple[str, int, int]:
+        """The cell key ``(variant, n, seed_index)``."""
+        return (self.variant, self.n, self.seed_index)
+
+    @property
+    def normalized_interactions(self) -> float:
+        """Interactions divided by ``n²``."""
+        return self.interactions / float(self.n * self.n)
+
+    def as_dict(self) -> dict:
+        """JSON-ready representation (used for persistence)."""
+        return {
+            "study": self.study,
+            "variant": self.variant,
+            "protocol": self.protocol,
+            "engine": self.engine,
+            "n": self.n,
+            "seed_index": self.seed_index,
+            "converged": self.converged,
+            "interactions": self.interactions,
+            "resets": self.resets,
+            "extras": dict(self.extras),
+            "milestones": dict(self.milestones),
+            "series": self.series,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Mapping) -> "RunRow":
+        """Rebuild a row from :meth:`as_dict` output."""
+        return cls(
+            study=payload["study"],
+            variant=payload["variant"],
+            protocol=payload["protocol"],
+            engine=payload["engine"],
+            n=int(payload["n"]),
+            seed_index=int(payload["seed_index"]),
+            converged=bool(payload["converged"]),
+            interactions=int(payload["interactions"]),
+            resets=int(payload["resets"]),
+            extras=dict(payload.get("extras", {})),
+            milestones={
+                name: int(value)
+                for name, value in payload.get("milestones", {}).items()
+            },
+            series=payload.get("series", {}),
+        )
+
+    def flat_dict(self) -> dict:
+        """One flat mapping per row for CSV export (series omitted)."""
+        row = {
+            "study": self.study,
+            "variant": self.variant,
+            "protocol": self.protocol,
+            "engine": self.engine,
+            "n": self.n,
+            "seed_index": self.seed_index,
+            "converged": self.converged,
+            "interactions": self.interactions,
+            "normalized_interactions": self.normalized_interactions,
+            "resets": self.resets,
+        }
+        row.update(self.extras)
+        row.update(self.milestones)
+        return row
+
+
+class ResultSet:
+    """All rows of a study plus provenance, behind one query surface."""
+
+    def __init__(self, rows: Sequence[RunRow], specs: Sequence[ExperimentSpec],
+                 name: str = "study"):
+        self._rows = list(rows)
+        self._specs = list(specs)
+        self._name = name
+
+    @property
+    def name(self) -> str:
+        """The study name the rows belong to."""
+        return self._name
+
+    @property
+    def rows(self) -> List[RunRow]:
+        """The unified rows, in deterministic (variant, n, seed) order."""
+        return self._rows
+
+    @property
+    def specs(self) -> List[ExperimentSpec]:
+        """The specs that produced the rows."""
+        return self._specs
+
+    def __len__(self) -> int:
+        return len(self._rows)
+
+    def __iter__(self):
+        return iter(self._rows)
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def filter(self, **equals) -> "ResultSet":
+        """Rows whose attributes equal the given values (e.g. ``n=128``)."""
+        rows = [
+            row
+            for row in self._rows
+            if all(getattr(row, key) == value for key, value in equals.items())
+        ]
+        return ResultSet(rows, self._specs, self._name)
+
+    def group(self, *fields: str) -> Dict[tuple, List[RunRow]]:
+        """Rows grouped by the given row attributes, insertion-ordered."""
+        groups: Dict[tuple, List[RunRow]] = {}
+        for row in self._rows:
+            key = tuple(getattr(row, name) for name in fields)
+            groups.setdefault(key, []).append(row)
+        return groups
+
+    def summary(
+        self,
+        value: Callable[[RunRow], float],
+        by: Sequence[str] = ("variant", "n"),
+    ) -> Dict[tuple, RunSummary]:
+        """Summaries of ``value(row)`` per group (default: variant × n)."""
+        return {
+            key: summarize([value(row) for row in rows])
+            for key, rows in self.group(*by).items()
+        }
+
+    def convergence_rate(self) -> float:
+        """Fraction of rows that converged."""
+        if not self._rows:
+            return 0.0
+        return sum(row.converged for row in self._rows) / len(self._rows)
+
+    def flat_rows(self) -> List[dict]:
+        """All rows as flat dictionaries (for CSV export)."""
+        return [row.flat_dict() for row in self._rows]
+
+    # ------------------------------------------------------------------
+    # Persistence
+    # ------------------------------------------------------------------
+    def to_json(self, path) -> None:
+        """Write the rows + specs as one JSON document."""
+        from .recording import write_json
+
+        write_json(
+            path,
+            {
+                "study": self._name,
+                "specs": [spec.as_dict() for spec in self._specs],
+                "rows": [row.as_dict() for row in self._rows],
+            },
+        )
+
+    @classmethod
+    def from_json(cls, path) -> "ResultSet":
+        """Load a result set written by :meth:`to_json`."""
+        payload = json.loads(Path(path).read_text())
+        return cls(
+            rows=[RunRow.from_dict(row) for row in payload["rows"]],
+            specs=[ExperimentSpec.from_dict(spec) for spec in payload["specs"]],
+            name=payload.get("study", "study"),
+        )
+
+    def to_csv(self, path) -> None:
+        """Write the flat rows as CSV (series are JSON-only)."""
+        from .recording import write_csv
+
+        write_csv(path, self.flat_rows())
+
+
+# ----------------------------------------------------------------------
+# Cell execution (module-level and spec-dict driven: picklable, so the
+# multiprocess fan-out ships (spec, n, seed_index) tuples to workers)
+# ----------------------------------------------------------------------
+
+#: Per-process engine caches, keyed by (spec identity, n): repeated cells
+#: of one variant in one worker share the transition tabulation.
+_ENGINE_CACHES: Dict[tuple, EngineCache] = {}
+
+
+def _cell_rng_sequences(spec: ExperimentSpec, n: int, seed_index: int):
+    """Two independent seed sequences (workload, run) for one cell.
+
+    Derived from the spec identity and the cell coordinates through
+    :class:`numpy.random.SeedSequence` — deterministic and process-stable
+    (unlike ``hash()``), which is what makes ``--jobs N`` bit-identical to
+    a serial run.
+    """
+    base = np.random.SeedSequence(
+        [spec.identity_seed(), int(n), int(seed_index)]
+    )
+    return base.spawn(2)
+
+
+def execute_cell(spec_payload: Mapping, n: int, seed_index: int) -> dict:
+    """Run one (variant, n, seed) cell and return its row dictionary."""
+    spec = ExperimentSpec.from_dict(dict(spec_payload))
+    workload_seq, run_seq = _cell_rng_sequences(spec, n, seed_index)
+    if spec.engine == "aggregate":
+        return _execute_aggregate(spec, n, seed_index, run_seq)
+    return _execute_agent_level(spec, n, seed_index, workload_seq, run_seq)
+
+
+def _execute_aggregate(spec, n, seed_index, run_seq) -> dict:
+    simulator = AggregateSpaceEfficientRanking(
+        n,
+        random_state=np.random.default_rng(run_seq),
+        **spec.protocol_params,
+    )
+    milestones = simulator.milestone_predicates(spec.milestone_fractions)
+    outcome = simulator.run(max_interactions=10**15, milestones=milestones)
+    row = RunRow(
+        study="",
+        variant=spec.variant,
+        protocol="space-efficient-ranking",
+        engine=spec.engine,
+        n=n,
+        seed_index=seed_index,
+        converged=outcome.converged,
+        interactions=outcome.interactions,
+        resets=0,
+        milestones={
+            name: int(value) for name, value in outcome.milestones.items()
+        },
+    )
+    return row.as_dict()
+
+
+def _execute_agent_level(spec, n, seed_index, workload_seq, run_seq) -> dict:
+    protocol = PROTOCOLS[spec.protocol](n, **spec.protocol_params)
+    configuration = WORKLOADS[spec.workload](
+        protocol, np.random.default_rng(workload_seq), **spec.workload_params
+    )
+    budget = int(spec.max_interactions_factor * n * n)
+    metrics = None
+    if spec.samples > 0:
+        interval = max(1, budget // spec.samples)
+        metrics = MetricsCollector(standard_ranking_probes(), interval=interval)
+
+    rng = np.random.default_rng(run_seq)
+    if spec.engine == "array":
+        cache_key = (spec.identity_seed(), n)
+        cache = _ENGINE_CACHES.get(cache_key)
+        if cache is None:
+            cache = _ENGINE_CACHES[cache_key] = EngineCache()
+        simulator = ArraySimulator(
+            protocol,
+            configuration=configuration,
+            random_state=rng,
+            metrics=metrics,
+            cache=cache,
+        )
+    else:
+        simulator = Simulator(
+            protocol,
+            configuration=configuration,
+            random_state=rng,
+            metrics=metrics,
+        )
+
+    milestones: Dict[str, int] = {}
+    if spec.milestone_fractions:
+        converged = True
+        result = None
+        for fraction in spec.milestone_fractions:
+            threshold = fraction * n
+            result = simulator.run_until(
+                lambda config, threshold=threshold: (
+                    config.ranked_count() >= threshold
+                ),
+                max_interactions=max(0, budget - simulator.interactions),
+            )
+            if not result.converged:
+                converged = False
+                break
+            milestones[f"ranked_{fraction}"] = simulator.interactions
+        row_converged = converged
+        interactions = simulator.interactions
+        resets = result.resets if result is not None else 0
+    else:
+        result = simulator.run(
+            max_interactions=budget,
+            stop_on_convergence=spec.stop_on_convergence,
+        )
+        row_converged = result.converged
+        interactions = result.interactions
+        resets = result.resets
+
+    extras: Dict[str, float] = {}
+    for name in spec.extractors:
+        extras.update(EXTRACTORS[name](result, simulator))
+
+    series: Dict[str, Dict[str, list]] = {}
+    if metrics is not None:
+        for name, recorded in metrics.series.items():
+            series[name] = {
+                "interactions": list(recorded.interactions),
+                "values": list(recorded.values),
+            }
+
+    row = RunRow(
+        study="",
+        variant=spec.variant,
+        protocol=protocol.name,
+        engine=spec.engine,
+        n=n,
+        seed_index=seed_index,
+        converged=row_converged,
+        interactions=interactions,
+        resets=resets,
+        extras=extras,
+        milestones=milestones,
+        series=series,
+    )
+    return row.as_dict()
+
+
+# ----------------------------------------------------------------------
+# Study
+# ----------------------------------------------------------------------
+class Study:
+    """A named set of specs, expanded into a resumable run matrix.
+
+    Parameters
+    ----------
+    specs:
+        One spec or a sequence of specs (one per variant).
+    name:
+        Study name; used for the store directory and row provenance.
+    store:
+        ``None`` (in-memory only), a path (a
+        :class:`~repro.experiments.store.ResultStore` is created under
+        it), or a ready store.
+    jobs:
+        Worker processes for the cell fan-out; ``1`` runs serially in
+        this process.  Parallel execution is bit-identical to serial —
+        every cell derives its randomness from its own coordinates.
+    """
+
+    def __init__(
+        self,
+        specs: Union[ExperimentSpec, Sequence[ExperimentSpec]],
+        name: str = "study",
+        store: Union[None, str, "ResultStore"] = None,
+        jobs: int = 1,
+    ):
+        if isinstance(specs, ExperimentSpec):
+            specs = [specs]
+        if not specs:
+            raise ExperimentError("a study needs at least one spec")
+        names = [spec.variant for spec in specs]
+        if len(set(names)) != len(names):
+            raise ExperimentError(f"duplicate variant labels: {names}")
+        if jobs < 1:
+            raise ExperimentError("jobs must be positive")
+        self._specs: List[ExperimentSpec] = list(specs)
+        self._name = name
+        self._jobs = jobs
+        if store is None or isinstance(store, ResultStore):
+            self._store = store
+        else:
+            self._store = ResultStore(store, name, self.content_hash())
+
+    @property
+    def specs(self) -> List[ExperimentSpec]:
+        """The study's specs, one per variant."""
+        return self._specs
+
+    @property
+    def name(self) -> str:
+        """The study name."""
+        return self._name
+
+    @property
+    def store(self) -> Optional[ResultStore]:
+        """The attached result store (``None`` when in-memory only)."""
+        return self._store
+
+    def content_hash(self) -> str:
+        """12-hex-digit hash over the specs' identity dictionaries."""
+        canonical = json.dumps(
+            [spec.identity_dict() for spec in self._specs], sort_keys=True
+        )
+        return hashlib.sha256(canonical.encode()).hexdigest()[:12]
+
+    def cells(self) -> List[Tuple[ExperimentSpec, int, int]]:
+        """The expanded run matrix in deterministic order."""
+        matrix = []
+        for spec in self._specs:
+            for n in spec.n_values:
+                for seed_index in range(spec.seeds):
+                    matrix.append((spec, n, seed_index))
+        return matrix
+
+    def run(
+        self,
+        progress: Optional[Callable[[dict, int, int], None]] = None,
+    ) -> ResultSet:
+        """Execute the missing cells and return the full result set.
+
+        Cells already present in the store are loaded, not re-simulated.
+        ``progress`` (if given) is called as ``progress(row, done, total)``
+        after every cell, loaded or computed.
+        """
+        from .parallel import run_cells
+
+        matrix = self.cells()
+        known: Dict[tuple, dict] = {}
+        if self._store is not None:
+            self._store.write_spec(
+                {
+                    "study": self._name,
+                    "hash": self.content_hash(),
+                    "specs": [spec.as_dict() for spec in self._specs],
+                }
+            )
+            known = dict(self._store.load())
+
+        total = len(matrix)
+        done = 0
+        pending = []
+        for spec, n, seed_index in matrix:
+            key = (spec.variant, n, seed_index)
+            row = known.get(key)
+            if row is None:
+                pending.append((spec.as_dict(), n, seed_index))
+            else:
+                done += 1
+                if progress is not None:
+                    progress(row, done, total)
+
+        def on_row(row: dict) -> None:
+            nonlocal done
+            done += 1
+            if self._store is not None:
+                self._store.append(row)
+            if progress is not None:
+                progress(row, done, total)
+
+        computed = run_cells(pending, jobs=self._jobs, callback=on_row)
+        for row in computed:
+            known[(row["variant"], int(row["n"]), int(row["seed_index"]))] = row
+
+        rows: List[RunRow] = []
+        for spec, n, seed_index in matrix:
+            payload = known[(spec.variant, n, seed_index)]
+            row = RunRow.from_dict(payload)
+            row.study = self._name
+            rows.append(row)
+        result = ResultSet(rows, self._specs, self._name)
+        if self._store is not None:
+            result.to_csv(self._store.directory / "rows.csv")
+        return result

@@ -175,11 +175,51 @@ class StableRankingKernel:
         #: field-value tuples → interned code (commit memo).
         self._variants: Dict[Tuple[int, ...], int] = {}
 
+        # Persistent per-agent shadow of the live population: the field
+        # lists the scalar loop reads and writes, kept in lockstep with the
+        # engine's code array across invocations.  Between kernel calls
+        # only walked/table-path agents change, so re-entry costs one
+        # vectorized code comparison plus O(#changed) Python work instead
+        # of re-gathering O(n) lists per call.  ``_bound_codes`` tracks the
+        # identity of the engine's code array — a shared kernel that is
+        # re-bound to another engine's population (interleaved runs on one
+        # EngineCache) rebuilds the shadow wholesale.
+        self._bound_codes: np.ndarray | None = None
+        self._synced = np.empty(0, dtype=np.int64)
+        self._agent_kind: list = []
+        self._agent_alive: list = []
+        self._agent_phase: list = []
+        self._agent_reset: list = []
+        self._agent_delay: list = []
+        self._agent_le_count: list = []
+        self._agent_le_done: list = []
+        self._agent_le_coins: list = []
+        self._agent_le_leader: list = []
+
     # ------------------------------------------------------------------
     # VectorizedKernel interface
     # ------------------------------------------------------------------
     def columns(self) -> Tuple[str, ...]:
         return _FIELDS
+
+    def chunk_scalar_share(self, code_v: np.ndarray, columns: ColumnStore) -> float:
+        """Fraction of a chunk that would run the ordered scalar loop.
+
+        A pair enters the loop when its responder carries a synthetic coin
+        (every pure class but ranked), so this is one per-code gather over
+        the responder codes.  The engine consults it before handing a
+        chunk over: in loop-bound regimes (measured ≥ 0.5 only during the
+        early counter-churn, ≤ 0.15 mid-run) the kernel has no vectorized
+        win left and pre-tabulated chunks are cheaper on the warm
+        table-path walk.
+        """
+        if not len(code_v):
+            return 0.0
+        self._refresh(columns)
+        kind_v = self._kind[code_v]
+        return float(
+            np.count_nonzero((kind_v >= _PHASE) & (kind_v < _OTHER)) / len(code_v)
+        )
 
     def _refresh(self, store: ColumnStore) -> None:
         """Classify codes interned since the last call."""
@@ -253,6 +293,52 @@ class StableRankingKernel:
         self._le_leader_of[window] = is_leader
         self._classified = size
 
+    def _agent_lists(self) -> tuple:
+        return (
+            self._agent_kind, self._agent_alive, self._agent_phase,
+            self._agent_reset, self._agent_delay, self._agent_le_count,
+            self._agent_le_done, self._agent_le_coins, self._agent_le_leader,
+        )
+
+    def _agent_columns(self) -> tuple:
+        return (
+            self._kind, self._alive_of, self._phase_of,
+            self._reset_of, self._delay_of, self._le_count_of,
+            self._le_done_of, self._le_coins_of, self._le_leader_of,
+        )
+
+    def _sync_agents(self, codes: np.ndarray) -> None:
+        """Bring the per-agent field shadow in line with the live codes.
+
+        Agents whose code changed outside the kernel (walk segments, table
+        chunks) are found by comparing against the snapshot taken at the
+        last sync; only those entries are re-projected.  The shadow of a
+        committed agent always equals its current code's projection, so
+        nothing else can have drifted.
+        """
+        if self._bound_codes is not codes or len(self._synced) != len(codes):
+            self._bound_codes = codes
+            self._synced = codes.copy()
+            self._agent_kind = self._kind[codes].tolist()
+            self._agent_alive = self._alive_of[codes].tolist()
+            self._agent_phase = self._phase_of[codes].tolist()
+            self._agent_reset = self._reset_of[codes].tolist()
+            self._agent_delay = self._delay_of[codes].tolist()
+            self._agent_le_count = self._le_count_of[codes].tolist()
+            self._agent_le_done = self._le_done_of[codes].tolist()
+            self._agent_le_coins = self._le_coins_of[codes].tolist()
+            self._agent_le_leader = self._le_leader_of[codes].tolist()
+            return
+        dirty = np.flatnonzero(codes != self._synced)
+        if not len(dirty):
+            return
+        self._synced[dirty] = codes[dirty]
+        agents = dirty.tolist()
+        dirty_codes = codes[dirty]
+        for shadow, column in zip(self._agent_lists(), self._agent_columns()):
+            for agent, value in zip(agents, column[dirty_codes].tolist()):
+                shadow[agent] = value
+
     # ------------------------------------------------------------------
     # Chunk processing
     # ------------------------------------------------------------------
@@ -265,6 +351,7 @@ class StableRankingKernel:
     ) -> ChunkOutcome:
         self._refresh(columns)
         codes = columns.codes
+        self._sync_agents(codes)
         code_u = codes[initiators]
         code_v = codes[responders]
         kind_u = self._kind[code_u]
@@ -302,11 +389,20 @@ class StableRankingKernel:
             return ChunkOutcome(0)
 
         # --- sequential chains, in one ordered scalar loop --------------
-        alive = None
-        phase_l = None
-        dyn_kind = None
-        reset_l = delay_l = None
-        le_count_l = le_done_l = le_coins_l = le_leader_l = None
+        # The loop's field state lives in the persistent per-agent shadow
+        # (see :meth:`_sync_agents`): reads see the current codes'
+        # projections, writes carry the committed chains over to the next
+        # invocation.  Declined pairs must still leave no trace — every
+        # decline below breaks *before* its first shadow write.
+        alive = self._agent_alive
+        phase_l = self._agent_phase
+        dyn_kind = self._agent_kind
+        reset_l = self._agent_reset
+        delay_l = self._agent_delay
+        le_count_l = self._agent_le_count
+        le_done_l = self._agent_le_done
+        le_coins_l = self._agent_le_coins
+        le_leader_l = self._agent_le_leader
         touched = set()
         resets = 0
         if coin_at is not None:
@@ -332,17 +428,6 @@ class StableRankingKernel:
                 + u_ranked * _OP_U_RANKED
                 + (ku == _WAIT) * _OP_U_WAIT
             )
-
-            alive = self._alive_of[codes].tolist()
-            phase_l = self._phase_of[codes].tolist()
-            if domain_pair.any():
-                dyn_kind = self._kind[codes].tolist()
-                reset_l = self._reset_of[codes].tolist()
-                delay_l = self._delay_of[codes].tolist()
-                le_count_l = self._le_count_of[codes].tolist()
-                le_done_l = self._le_done_of[codes].tolist()
-                le_coins_l = self._le_coins_of[codes].tolist()
-                le_leader_l = self._le_leader_of[codes].tolist()
             ops = opcode.tolist()
             init_l = initiators[loop_positions].tolist()
             resp_l = responders[loop_positions].tolist()
@@ -558,12 +643,9 @@ class StableRankingKernel:
         if touched:
             commit_agents = []
             commit_codes = []
-            kind_of = self._kind
             coin_of = self._coin_of
             alive_of = self._alive_of
             phase_of = self._phase_of
-            reset_of = self._reset_of
-            delay_of = self._delay_of
             variants = self._variants
             for agent in touched:
                 old_code = int(codes[agent])
@@ -571,11 +653,10 @@ class StableRankingKernel:
                 new_coin = old_coin
                 if flips is not None and flips[agent] & 1:
                     new_coin ^= 1
-                static_kind = int(kind_of[old_code])
-                if dyn_kind is not None and static_kind in (_LE, _RESET):
+                kind_now = dyn_kind[agent]
+                if kind_now == _LE or kind_now == _RESET:
                     # Start-up domain: rebuild the code from the tracked
                     # field values (the domain class may have flipped).
-                    kind_now = dyn_kind[agent]
                     if kind_now == _RESET:
                         key = (
                             old_code, _RESET, new_coin,
@@ -617,9 +698,9 @@ class StableRankingKernel:
                             variants[key] = new_code
                 else:
                     old_alive = int(alive_of[old_code])
-                    new_alive = alive[agent] if alive is not None else old_alive
+                    new_alive = alive[agent]
                     old_phase = int(phase_of[old_code])
-                    new_phase = phase_l[agent] if phase_l is not None else old_phase
+                    new_phase = phase_l[agent]
                     if new_coin == old_coin and new_alive == old_alive and (
                         new_phase == old_phase
                     ):
@@ -640,4 +721,7 @@ class StableRankingKernel:
                     commit_codes.append(new_code)
             if commit_agents:
                 columns.commit(commit_agents, commit_codes)
+                # The shadow already holds the committed field values;
+                # record the new codes so the next sync sees no drift.
+                self._synced[commit_agents] = commit_codes
         return ChunkOutcome(prefix, changed, 0, resets)

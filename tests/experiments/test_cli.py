@@ -1,0 +1,142 @@
+"""Tests for the ``python -m repro`` command line.
+
+Fast paths call :func:`repro.experiments.cli.main` in-process; one smoke
+test goes through the real ``python -m repro`` entry point in a
+subprocess, exercising argument parsing, the study run, the persisted
+store and the rendered table end to end.
+"""
+
+import json
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.experiments.cli import main
+
+REPO_SRC = Path(__file__).resolve().parents[2] / "src"
+
+
+class TestMainInProcess:
+    def test_list(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        for name in ("figure2", "figure3", "scaling", "comparison", "fault_injection"):
+            assert name in out
+
+    def test_no_command_prints_overview(self, capsys):
+        assert main([]) == 0
+        assert "python -m repro run" in capsys.readouterr().out
+
+    def test_run_scaling_smoke(self, tmp_path, capsys):
+        code = main(
+            ["run", "scaling", "--n", "8", "--seeds", "2", "--out", str(tmp_path)]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "Stabilization-time scaling" in out
+        assert "result store:" in out
+        store_dirs = list(tmp_path.iterdir())
+        assert len(store_dirs) == 1
+        rows = [
+            json.loads(line)
+            for line in (store_dirs[0] / "rows.jsonl").read_text().splitlines()
+        ]
+        assert len(rows) == 2
+        assert (store_dirs[0] / "rows.csv").exists()
+        assert (store_dirs[0] / "result.json").exists()
+
+    def test_rerun_loads_from_store(self, tmp_path, capsys):
+        args = ["run", "scaling", "--n", "8", "--seeds", "2", "--out", str(tmp_path)]
+        assert main(args) == 0
+        capsys.readouterr()
+        assert main(args) == 0
+        store_dir = next(tmp_path.iterdir())
+        rows = (store_dir / "rows.jsonl").read_text().splitlines()
+        assert len(rows) == 2  # nothing was re-simulated or re-appended
+
+    def test_run_comparison_and_faults(self, tmp_path, capsys):
+        assert main([
+            "run", "comparison", "--n", "8", "--seeds", "1",
+            "--protocols", "stable-ranking", "--out", str(tmp_path), "--quiet",
+        ]) == 0
+        assert "Baseline comparison" in capsys.readouterr().out
+        assert main([
+            "run", "fault_injection", "--n", "8", "--seeds", "1",
+            "--faults", "duplicate_rank", "--max-factor", "2000",
+            "--out", str(tmp_path), "--quiet",
+        ]) == 0
+        assert "Fault-injection recovery" in capsys.readouterr().out
+
+    def test_no_store(self, tmp_path, capsys):
+        assert main([
+            "run", "scaling", "--n", "8", "--seeds", "1",
+            "--no-store", "--out", str(tmp_path), "--quiet",
+        ]) == 0
+        assert list(tmp_path.iterdir()) == []
+
+    def test_unknown_experiment_is_a_parse_error(self):
+        with pytest.raises(SystemExit):
+            main(["run", "figure7"])
+
+    def test_max_factor_reaches_every_preset(self):
+        from repro.experiments.cli import EXPERIMENTS, _build_parser
+
+        parser = _build_parser()
+        for experiment in ("figure2", "figure3", "scaling", "comparison",
+                           "fault_injection"):
+            args = parser.parse_args(
+                ["run", experiment, "--n", "8", "--max-factor", "123"]
+            )
+            specs = EXPERIMENTS[experiment]["specs"](args)
+            assert all(
+                spec.max_interactions_factor == 123.0 for spec in specs
+            ), experiment
+
+    def test_render_failure_reports_error_but_keeps_store(self, tmp_path, capsys):
+        # A budget far too small for the milestones: the rows compute (as
+        # non-converged), the legacy renderer raises, and the CLI must
+        # report the error yet still persist + point at the store.
+        code = main([
+            "run", "figure3", "--n", "16", "--seeds", "1",
+            "--engine", "reference", "--fractions", "0.5",
+            "--max-factor", "0.01", "--out", str(tmp_path), "--quiet",
+        ])
+        assert code == 1
+        captured = capsys.readouterr()
+        assert "error:" in captured.err
+        assert "result store:" in captured.out
+        store_dir = next(tmp_path.iterdir())
+        assert (store_dir / "rows.jsonl").exists()
+        assert (store_dir / "result.json").exists()
+
+
+class TestModuleEntryPoint:
+    def test_python_m_repro_run_figure2(self, tmp_path):
+        environment = {
+            **os.environ,
+            "PYTHONPATH": str(REPO_SRC)
+            + (os.pathsep + os.environ["PYTHONPATH"] if os.environ.get("PYTHONPATH") else ""),
+        }
+        completed = subprocess.run(
+            [
+                sys.executable, "-m", "repro", "run", "figure2",
+                "--n", "16", "--seeds", "2", "--jobs", "2",
+                "--no-plot", "--out", str(tmp_path),
+            ],
+            capture_output=True,
+            text=True,
+            env=environment,
+            timeout=600,
+        )
+        assert completed.returncode == 0, completed.stderr
+        assert "Figure 2 reproduction" in completed.stdout
+        store_dir = next(tmp_path.iterdir())
+        rows = [
+            json.loads(line)
+            for line in (store_dir / "rows.jsonl").read_text().splitlines()
+        ]
+        assert {(row["n"], row["seed_index"]) for row in rows} == {(16, 0), (16, 1)}
+        assert all(row["series"]["ranked_agents"]["values"] for row in rows)

@@ -1,0 +1,281 @@
+"""Tests for the declarative study API (spec, store, parallel execution).
+
+The load-bearing properties: specs are plain validated data with a stable
+identity; a study's cells are deterministic in their coordinates (so
+parallel execution is bit-identical to serial and a store can be resumed);
+and the unified row schema round-trips through JSON and CSV.
+"""
+
+import json
+
+import pytest
+
+from repro.core.errors import ExperimentError
+from repro.experiments.store import ResultStore
+from repro.experiments.study import (
+    ExperimentSpec,
+    ResultSet,
+    RunRow,
+    Study,
+    execute_cell,
+)
+import repro.experiments.study as study_module
+
+
+def small_spec(**overrides):
+    defaults = dict(
+        variant="stable-ranking",
+        protocol="stable-ranking",
+        n_values=(8,),
+        seeds=2,
+        max_interactions_factor=2000.0,
+    )
+    defaults.update(overrides)
+    return ExperimentSpec(**defaults)
+
+
+class TestExperimentSpec:
+    def test_validation(self):
+        with pytest.raises(ExperimentError):
+            small_spec(engine="magic")
+        with pytest.raises(ExperimentError):
+            small_spec(protocol="unknown-protocol")
+        with pytest.raises(ExperimentError):
+            small_spec(workload="unknown-workload")
+        with pytest.raises(ExperimentError):
+            small_spec(seeds=0)
+        with pytest.raises(ExperimentError):
+            small_spec(n_values=())
+        with pytest.raises(ExperimentError):
+            small_spec(extractors=("nope",))
+        # aggregate is tied to the space-efficient protocol + figure3 start
+        with pytest.raises(ExperimentError):
+            small_spec(engine="aggregate")
+
+    def test_dict_round_trip(self):
+        spec = small_spec(milestone_fractions=(0.75, 0.5), extractors=("ranked_agents",))
+        rebuilt = ExperimentSpec.from_dict(spec.as_dict())
+        assert rebuilt == spec
+        assert rebuilt.milestone_fractions == (0.5, 0.75)  # normalized order
+
+    def test_identity_excludes_matrix_extent(self):
+        # Extending seeds or n_values must not re-key the study store.
+        a = small_spec(n_values=(8,), seeds=2)
+        b = small_spec(n_values=(8, 16), seeds=50)
+        assert a.identity_seed() == b.identity_seed()
+        assert Study([a]).content_hash() == Study([b]).content_hash()
+        # ...but anything trajectory-relevant must.
+        c = small_spec(random_state=1)
+        assert a.identity_seed() != c.identity_seed()
+
+    def test_cells_are_deterministic_across_calls(self):
+        spec = small_spec(seeds=1)
+        first = execute_cell(spec.as_dict(), 8, 0)
+        second = execute_cell(spec.as_dict(), 8, 0)
+        assert first == second
+        other_seed = execute_cell(spec.as_dict(), 8, 1)
+        assert other_seed["interactions"] != first["interactions"] or (
+            other_seed != first
+        )
+
+
+class TestStudyExecution:
+    def test_run_matrix_and_rows(self):
+        spec = small_spec(n_values=(8, 16), seeds=2)
+        result = Study(spec, name="matrix").run()
+        assert len(result.rows) == 4
+        assert [(r.n, r.seed_index) for r in result.rows] == [
+            (8, 0), (8, 1), (16, 0), (16, 1),
+        ]
+        assert all(r.converged for r in result.rows)
+        assert all(r.study == "matrix" for r in result.rows)
+        assert result.convergence_rate() == 1.0
+
+    def test_parallel_matches_serial_bit_for_bit(self):
+        spec = small_spec(n_values=(8, 16), seeds=2)
+        serial = Study(spec, name="par").run()
+        parallel = Study(spec, name="par", jobs=2).run()
+        assert [r.as_dict() for r in parallel.rows] == [
+            r.as_dict() for r in serial.rows
+        ]
+
+    def test_duplicate_variants_rejected(self):
+        with pytest.raises(ExperimentError):
+            Study([small_spec(), small_spec()])
+
+    def test_summary_and_filter(self):
+        spec = small_spec(n_values=(8, 16), seeds=3)
+        result = Study(spec, name="sum").run()
+        summaries = result.summary(lambda row: row.normalized_interactions)
+        assert set(summaries) == {("stable-ranking", 8), ("stable-ranking", 16)}
+        assert summaries[("stable-ranking", 8)].count == 3
+        assert len(result.filter(n=16)) == 3
+
+
+class TestStoreAndRoundTrips:
+    def test_resume_loads_cells_instead_of_rerunning(self, tmp_path, monkeypatch):
+        spec = small_spec(n_values=(8,), seeds=3)
+        first = Study(spec, name="resume", store=tmp_path).run()
+        assert len(first.rows) == 3
+
+        calls = []
+        original = study_module.execute_cell
+
+        def counting(*args):
+            calls.append(args)
+            return original(*args)
+
+        monkeypatch.setattr(study_module, "execute_cell", counting)
+        # parallel.run_cells imported execute_cell by name; patch there too.
+        import repro.experiments.parallel as parallel_module
+        monkeypatch.setattr(parallel_module, "execute_cell", counting)
+
+        second = Study(spec, name="resume", store=tmp_path).run()
+        assert calls == []  # every cell came from the store
+        assert [r.as_dict() for r in second.rows] == [
+            r.as_dict() for r in first.rows
+        ]
+
+        # Extending the matrix only computes the new cells.
+        extended = Study(
+            small_spec(n_values=(8,), seeds=5), name="resume", store=tmp_path
+        ).run()
+        assert len(calls) == 2
+        assert len(extended.rows) == 5
+        assert [r.as_dict() for r in extended.rows[:3]] == [
+            r.as_dict() for r in first.rows
+        ]
+
+    def test_store_layout(self, tmp_path):
+        spec = small_spec(n_values=(8,), seeds=1)
+        study = Study(spec, name="layout", store=tmp_path)
+        study.run()
+        directory = study.store.directory
+        assert directory.name == f"layout-{study.content_hash()}"
+        assert (directory / "spec.json").exists()
+        assert (directory / "rows.jsonl").exists()
+        assert (directory / "rows.csv").exists()
+        payload = json.loads((directory / "spec.json").read_text())
+        assert payload["study"] == "layout"
+        assert payload["specs"][0]["variant"] == "stable-ranking"
+
+    def test_store_rejects_path_like_names(self, tmp_path):
+        with pytest.raises(ExperimentError):
+            ResultStore(tmp_path, "bad/name", "abc")
+
+    def test_torn_trailing_line_keeps_store_resumable(self, tmp_path):
+        # A run killed mid-append leaves a partial final line; resume must
+        # skip it (and recompute that cell), not crash.
+        spec = small_spec(n_values=(8,), seeds=2)
+        study = Study(spec, name="torn", store=tmp_path)
+        first = study.run()
+        with study.store.rows_path.open("a") as handle:
+            handle.write('{"variant": "stable-ranking", "n": 8, "seed')
+        resumed = Study(spec, name="torn", store=tmp_path).run()
+        assert [r.as_dict() for r in resumed.rows] == [
+            r.as_dict() for r in first.rows
+        ]
+
+    def test_corrupt_middle_line_raises(self, tmp_path):
+        spec = small_spec(n_values=(8,), seeds=2)
+        study = Study(spec, name="corrupt", store=tmp_path)
+        study.run()
+        lines = study.store.rows_path.read_text().splitlines()
+        lines[0] = "not json at all"
+        study.store.rows_path.write_text("\n".join(lines) + "\n")
+        with pytest.raises(ExperimentError, match="corrupt row store"):
+            Study(spec, name="corrupt", store=tmp_path).run()
+
+    def test_json_round_trip(self, tmp_path):
+        spec = small_spec(n_values=(8,), seeds=2)
+        result = Study(spec, name="json").run()
+        path = tmp_path / "result.json"
+        result.to_json(path)
+        loaded = ResultSet.from_json(path)
+        assert loaded.name == "json"
+        assert [r.as_dict() for r in loaded.rows] == [
+            r.as_dict() for r in result.rows
+        ]
+        assert loaded.specs == result.specs
+
+    def test_csv_round_trip(self, tmp_path):
+        from repro.experiments.recording import read_csv
+
+        spec = small_spec(n_values=(8,), seeds=2)
+        result = Study(spec, name="csv").run()
+        path = tmp_path / "rows.csv"
+        result.to_csv(path)
+        rows = read_csv(path)
+        assert len(rows) == 2
+        for loaded, row in zip(rows, result.rows):
+            assert loaded["variant"] == row.variant
+            assert loaded["n"] == row.n
+            assert loaded["seed_index"] == row.seed_index
+            assert loaded["interactions"] == row.interactions
+            assert loaded["converged"] == row.converged
+
+
+class TestMeasurements:
+    def test_milestones_on_reference_engine(self):
+        spec = ExperimentSpec(
+            variant="figure3",
+            protocol="space-efficient-ranking",
+            workload="figure3",
+            n_values=(24,),
+            seeds=2,
+            milestone_fractions=(0.5, 0.75),
+            max_interactions_factor=500.0,
+        )
+        result = Study(spec, name="milestones").run()
+        for row in result.rows:
+            assert row.converged
+            assert row.milestones["ranked_0.5"] <= row.milestones["ranked_0.75"]
+
+    def test_aggregate_engine_milestones(self):
+        spec = ExperimentSpec(
+            variant="figure3",
+            protocol="space-efficient-ranking",
+            engine="aggregate",
+            workload="figure3",
+            n_values=(64,),
+            seeds=2,
+            milestone_fractions=(0.5,),
+        )
+        result = Study(spec, name="agg").run()
+        assert all(row.converged for row in result.rows)
+        assert all(row.milestones["ranked_0.5"] > 0 for row in result.rows)
+
+    def test_series_recording(self):
+        spec = ExperimentSpec(
+            variant="figure2",
+            protocol="stable-ranking-figure2",
+            workload="figure2",
+            n_values=(16,),
+            seeds=1,
+            max_interactions_factor=200.0,
+            samples=30,
+        )
+        row = Study(spec, name="series").run().rows[0]
+        assert set(row.series) >= {"ranked_agents", "average_phase"}
+        ranked = row.series["ranked_agents"]
+        assert len(ranked["interactions"]) == len(ranked["values"])
+        assert ranked["values"][0] == 15.0  # n - 1 ranked at the start
+
+    def test_extractors(self):
+        spec = small_spec(extractors=("ranked_agents", "overhead_states"))
+        row = Study(spec, name="extract").run().rows[0]
+        assert row.extras["ranked_agents"] == 8.0
+        assert row.extras["overhead_states"] > 0
+
+    def test_array_engine_rows_match_reference(self):
+        # The array engine is bit-exact on the same seed, so the unified
+        # rows must agree between engines given matched check cadences...
+        # the engines' convergence cadences differ by default, so compare
+        # the workload-level outcome only (converged + milestones exist).
+        reference = Study(
+            small_spec(engine="reference", seeds=2), name="x"
+        ).run()
+        array = Study(small_spec(engine="array", seeds=2), name="x").run()
+        assert [r.converged for r in array.rows] == [
+            r.converged for r in reference.rows
+        ]
