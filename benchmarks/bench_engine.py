@@ -36,10 +36,21 @@ engine speedups from the recorded timings:
 ``epidemic_throughput``
     The one-way epidemic at n=256 — a protocol whose 4-state space compiles
     to complete dense ``(S × S)`` tables.
+``burman_throughput`` / ``cai_throughput`` / ``token_counter_throughput``
+    The three comparison baselines at n=64 (matched reference/array pairs,
+    pre-warmed caches).  Burman runs on the lazy tabulated path; Cai on
+    complete dense tables (its n=64 seed states exactly fit the dense
+    budget — larger populations would go lazy); and the token counter —
+    whose GS leader-election substrate consumes randomness — on the
+    declared object fallback, so its pair documents the fallback's cost
+    rather than a speedup.
 """
 
 import numpy as np
 
+from repro.baselines.burman_ranking import BurmanStyleRanking
+from repro.baselines.cai_ranking import CaiRanking
+from repro.baselines.token_counter_ranking import TokenCounterRanking
 from repro.core.array_engine import ArraySimulator, EngineCache
 from repro.core.configuration import Configuration
 from repro.core.simulation import Simulator
@@ -55,6 +66,8 @@ FULL_RUN_BUDGET = 50_000_000
 TAIL_INTERACTIONS = 200_000
 EPIDEMIC_N = 256
 EPIDEMIC_INTERACTIONS = 50_000
+BASELINE_N = 64
+BASELINE_INTERACTIONS = 20_000
 
 
 def _tag(benchmark, *, workload, engine, protocol, n, interactions=None):
@@ -355,6 +368,84 @@ def test_array_engine_epidemic_throughput(benchmark):
         n=EPIDEMIC_N,
         interactions=EPIDEMIC_INTERACTIONS,
     )
+
+
+# ----------------------------------------------------------------------
+# Comparison baselines at n=64: matched reference/array pairs
+# ----------------------------------------------------------------------
+_BASELINES = {
+    "burman-style-ranking": ("burman_throughput", BurmanStyleRanking),
+    "cai-ranking": ("cai_throughput", CaiRanking),
+    "token-counter-ranking": ("token_counter_throughput", TokenCounterRanking),
+}
+
+
+def _run_baseline(benchmark, protocol_name, engine):
+    workload, factory = _BASELINES[protocol_name]
+    if engine == "reference":
+        simulator = Simulator(factory(BASELINE_N), random_state=0)
+    else:
+        cache = EngineCache()
+        ArraySimulator(
+            factory(BASELINE_N), random_state=0, cache=cache
+        ).run(
+            max_interactions=6 * BASELINE_INTERACTIONS,
+            stop_on_convergence=False,
+        )
+        simulator = ArraySimulator(
+            factory(BASELINE_N), random_state=0, cache=cache
+        )
+
+    def run():
+        simulator.run(
+            max_interactions=BASELINE_INTERACTIONS, stop_on_convergence=False
+        )
+
+    benchmark.pedantic(run, rounds=3, iterations=1, warmup_rounds=1)
+    _tag(
+        benchmark,
+        workload=workload,
+        engine=engine,
+        protocol=protocol_name,
+        n=BASELINE_N,
+        interactions=BASELINE_INTERACTIONS,
+    )
+
+
+def test_reference_burman_throughput(benchmark):
+    """Reference throughput of the Burman-style baseline (n=64)."""
+    _run_baseline(benchmark, "burman-style-ranking", "reference")
+
+
+def test_array_engine_burman_throughput(benchmark):
+    """Array-engine (lazy tabulated path) throughput of the same workload."""
+    _run_baseline(benchmark, "burman-style-ranking", "array")
+
+
+def test_reference_cai_throughput(benchmark):
+    """Reference throughput of the Cai collision-increment baseline (n=64)."""
+    _run_baseline(benchmark, "cai-ranking", "reference")
+
+
+def test_array_engine_cai_throughput(benchmark):
+    """Array-engine throughput of the Cai baseline (bulk no-op elimination)."""
+    _run_baseline(benchmark, "cai-ranking", "array")
+
+
+def test_reference_token_counter_throughput(benchmark):
+    """Reference throughput of the token-counter baseline (n=64)."""
+    _run_baseline(benchmark, "token-counter-ranking", "reference")
+
+
+def test_array_engine_token_counter_throughput(benchmark):
+    """Array engine on the token counter: the declared object fallback.
+
+    The GS leader-election substrate consumes randomness, so this measures
+    the fallback's overhead relative to the reference (expected ≈ 1x) —
+    the figure behind the auto resolver routing this protocol to the
+    reference engine.
+    """
+    _run_baseline(benchmark, "token-counter-ranking", "array")
 
 
 # ----------------------------------------------------------------------

@@ -56,7 +56,7 @@ from .protocols.reset import PropagateReset, PropagateResetProtocol
 from .experiments.store import ResultStore
 from .experiments.study import ExperimentSpec, ResultSet, RunRow, Study
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = [
     "AgentState",

@@ -1,12 +1,13 @@
 """Baseline ranking protocols used by the comparison experiments (E5)."""
 
 from .burman_ranking import BurmanStyleRanking
-from .cai_ranking import CaiRanking, CaiState
+from .cai_ranking import CaiRanking, CaiState, CaiStyleRanking
 from .token_counter_ranking import TokenCounterRanking
 
 __all__ = [
     "BurmanStyleRanking",
     "CaiRanking",
     "CaiState",
+    "CaiStyleRanking",
     "TokenCounterRanking",
 ]

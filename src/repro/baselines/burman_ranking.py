@@ -209,6 +209,20 @@ class BurmanStyleRanking(RankingProtocol[AgentState]):
                 changed = True
         return TransitionResult(changed=changed)
 
+    # ------------------------------------------------------------------
+    # Array-engine capability declarations
+    # ------------------------------------------------------------------
+    def consumes_randomness(self) -> bool:
+        """``False``: FastLeaderElection and the ranking rules are
+        deterministic functions of the two states (coins are togglings),
+        so the array engine tabulates state pairs and runs warm."""
+        return False
+
+    def codec_fields(self):
+        from ..core.state import AGENT_STATE_FIELDS
+
+        return AGENT_STATE_FIELDS
+
     def has_converged(self, configuration: Configuration[AgentState]) -> bool:
         """A clean valid ranking in which only the leader keeps its counter."""
         if not configuration.is_valid_ranking():

@@ -25,7 +25,7 @@ import numpy as np
 from ..core.configuration import Configuration
 from ..core.protocol import RankingProtocol, TransitionResult
 
-__all__ = ["CaiState", "CaiRanking"]
+__all__ = ["CaiState", "CaiRanking", "CaiStyleRanking"]
 
 
 @dataclass(slots=True)
@@ -64,6 +64,25 @@ class CaiRanking(RankingProtocol[CaiState]):
             )
         return TransitionResult(changed=False)
 
+    # ------------------------------------------------------------------
+    # Array-engine capability declarations
+    # ------------------------------------------------------------------
+    def consumes_randomness(self) -> bool:
+        """``False``: the collision-increment rule never draws randomness."""
+        return False
+
+    def codec_fields(self):
+        return ("rank",)
+
+    def seed_states(self):
+        """The complete concrete state space: one state per label.
+
+        Lets the array engine compile *complete* dense tables (for small
+        ``n``) that cover every self-stabilization start, not just the
+        closure of the all-ones designated configuration.
+        """
+        return [CaiState(rank=label) for label in range(1, self.n + 1)]
+
     def has_converged(self, configuration: Configuration[CaiState]) -> bool:
         return configuration.is_valid_ranking()
 
@@ -78,3 +97,7 @@ class CaiRanking(RankingProtocol[CaiState]):
     def overhead_states(self) -> int:
         """The protocol uses no states beyond the ``n`` labels."""
         return 0
+
+
+#: Alias matching the naming of the other baselines (``BurmanStyleRanking``).
+CaiStyleRanking = CaiRanking

@@ -92,6 +92,21 @@ class TokenCounterRanking(RankingProtocol[AgentState]):
             return TransitionResult(changed=True, rank_assigned=assigned)
         return TransitionResult(changed=changed)
 
+    # ------------------------------------------------------------------
+    # Array-engine capability declarations
+    # ------------------------------------------------------------------
+    def consumes_randomness(self) -> bool:
+        """``True``: the GS-style leader-election substrate draws random
+        tags, so state pairs cannot be tabulated — the array engine runs
+        this protocol on its (still bit-exact) object fallback path, and
+        the ``auto`` resolver prefers the reference simulator."""
+        return True
+
+    def codec_fields(self):
+        from ..core.state import AGENT_STATE_FIELDS
+
+        return AGENT_STATE_FIELDS
+
     def has_converged(self, configuration: Configuration[AgentState]) -> bool:
         return configuration.is_valid_ranking()
 

@@ -8,7 +8,18 @@ the exact event-driven simulation base class.
 
 from .aggregate import AggregateResult, EventDrivenSimulator
 from .array_engine import ArraySimulator, EngineCache, make_simulator
+from .backends import (
+    Backend,
+    BackendCapability,
+    backend_names,
+    capability_matrix,
+    engine_choices,
+    get_backend,
+    register_backend,
+    resolve_backend,
+)
 from .codec import DenseTransitionTables, StateCodec, compile_dense_tables
+from .probe_table import ProbeClassTable
 from .configuration import Configuration
 from .errors import (
     AnalysisError,
@@ -35,6 +46,8 @@ __all__ = [
     "AggregateResult",
     "AnalysisError",
     "ArraySimulator",
+    "Backend",
+    "BackendCapability",
     "ChunkOutcome",
     "CodecError",
     "ColumnStore",
@@ -46,6 +59,7 @@ __all__ = [
     "ExperimentError",
     "MetricsCollector",
     "PopulationProtocol",
+    "ProbeClassTable",
     "ProtocolError",
     "RandomnessConsumed",
     "RankingProtocol",
@@ -62,8 +76,14 @@ __all__ = [
     "TransitionResult",
     "UniformPairScheduler",
     "VectorizedKernel",
+    "backend_names",
+    "capability_matrix",
     "classify_role",
+    "engine_choices",
+    "get_backend",
     "occurrence_index",
+    "register_backend",
+    "resolve_backend",
     "compile_dense_tables",
     "make_rng",
     "make_simulator",

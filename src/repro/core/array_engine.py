@@ -108,6 +108,7 @@ from .errors import (
     StateSpaceTooLarge,
 )
 from .metrics import MetricsCollector
+from .probe_table import ProbeClassTable
 from .protocol import PopulationProtocol
 from .rng import RandomState
 from .scheduler import UniformPairScheduler
@@ -156,11 +157,6 @@ _CLS_WRITES_U = 1
 _CLS_WRITES_V = 2
 _CLS_FLAGGED = 4
 
-#: Probe-class tables are capped at this many states (int8, so the full
-#: table is at most _PROBE_CAP² bytes = 64 MiB); rarer codes beyond the cap
-#: degrade gracefully to "unknown" probes.
-_PROBE_CAP = 8192
-
 
 def _class_of(packed: int, a: int, b: int) -> int:
     """Probe class of a packed outcome for the state pair ``(a, b)``."""
@@ -189,15 +185,18 @@ class EngineCache:
     """
 
     __slots__ = (
-        "codec", "pair_cache", "probe_classes", "dense_tables", "mode",
+        "codec", "pair_cache", "probe_table", "dense_tables", "mode",
         "soa_kernel", "soa_columns",
     )
 
     def __init__(self):
         self.codec = StateCodec()
         self.pair_cache: Dict[int, int] = {}
-        #: (S_cap × S_cap) int8 probe-class table, grown with the codec.
-        self.probe_classes: Optional[np.ndarray] = None
+        #: Pair-code → probe-class byte map; a dense (S × S) int8 matrix
+        #: while the codec is small, an open-addressed hash table beyond
+        #: :data:`~repro.core.probe_table.DENSE_STATE_LIMIT` states — so
+        #: arbitrarily large state spaces stay on the warm probe path.
+        self.probe_table = ProbeClassTable(key_bits=_CODE_BITS)
         self.dense_tables: Optional[DenseTransitionTables] = None
         #: Resolved engine mode, or ``None`` until the first simulator decides.
         self.mode: Optional[str] = None
@@ -207,21 +206,6 @@ class EngineCache:
         #: live-population binding is refreshed per chunk by each engine).
         self.soa_kernel = None
         self.soa_columns = None
-
-    def ensure_probe_capacity(self, size: int) -> np.ndarray:
-        """Grow the probe-class table to cover at least ``size`` states."""
-        table = self.probe_classes
-        current = 0 if table is None else table.shape[0]
-        if current >= min(size, _PROBE_CAP):
-            return table
-        new_cap = 256
-        while new_cap < size and new_cap < _PROBE_CAP:
-            new_cap *= 2
-        grown = np.full((new_cap, new_cap), -1, dtype=np.int8)
-        if current:
-            grown[:current, :current] = table
-        self.probe_classes = grown
-        return grown
 
 
 class _DenseKernel:
@@ -290,7 +274,7 @@ class _LazyKernel:
         #: Per-state-type capability cache: True when the type supports the
         #: inlined copy()/as_tuple() fast path of :meth:`evaluate_packed`.
         self._fast_types: Dict[type, bool] = {}
-        cache.ensure_probe_capacity(max(codec.size, 1))
+        cache.probe_table.ensure_capacity(max(codec.size, 1))
 
     def _is_fast_type(self, state_type: type) -> bool:
         supported = self._fast_types.get(state_type)
@@ -364,29 +348,19 @@ class _LazyKernel:
             | (_RESET_BIT if result.reset_triggered else 0)
         )
         self.pair_dict[key] = packed
-        table = self._cache.probe_classes
-        if a >= table.shape[0] or b >= table.shape[0]:
-            # Codes interned since the last chunk probe lie beyond the
-            # table; grow it now or the entry would stay "unknown" forever
-            # (the pair dict hit means this evaluation never reruns).
-            table = self._cache.ensure_probe_capacity(self._codec.size)
-        if a < table.shape[0] and b < table.shape[0]:
-            table[a, b] = _class_of(packed, a, b)
+        # Record the probe class; the table grows (or migrates from its
+        # dense matrix to the hashed representation) as the codec interns
+        # states, so no code is ever beyond reach.
+        table = self._cache.probe_table
+        table.ensure_capacity(self._codec.size)
+        table.set(a, b, _class_of(packed, a, b))
         return packed
 
     def probe_class(self, cu: np.ndarray, cv: np.ndarray) -> np.ndarray:
         """Probe-class bytes for a batch of state pairs; unknown reads -1."""
-        table = self._cache.ensure_probe_capacity(self._codec.size)
-        cap = table.shape[0]
-        if self._codec.size <= cap:
-            # take() on the flattened table is measurably faster than 2-D
-            # fancy indexing, and this probe runs once per chunk.
-            return table.reshape(-1).take(cu * cap + cv)
-        # Codes beyond the table cap degrade to unknown (conservative).
-        in_range = (cu < cap) & (cv < cap)
-        classes = np.full(len(cu), -1, dtype=np.int8)
-        classes[in_range] = table[cu[in_range], cv[in_range]]
-        return classes
+        table = self._cache.probe_table
+        table.ensure_capacity(self._codec.size)
+        return table.lookup(cu, cv)
 
 
 class ArraySimulator:
@@ -566,6 +540,13 @@ class ArraySimulator:
         cache = self._cache
         if requested == "object" or (requested is None and cache.mode == "object"):
             return "object"
+        if requested is None and self._protocol.consumes_randomness() is True:
+            # The protocol declares up front that its transition draws
+            # randomness (see PopulationProtocol.consumes_randomness), so
+            # state pairs can never be tabulated: skip the doomed dense
+            # attempt and go straight to the object path.
+            cache.mode = "object"
+            return "object"
         codec = cache.codec
         try:
             codes = codec.encode_many(self._configuration.states)
@@ -595,9 +576,21 @@ class ArraySimulator:
                     # First compilation, or this configuration contains
                     # states outside the closure a previous sharer
                     # enumerated: recompile over the union so the tables
-                    # stay complete for every code the codec knows.
+                    # stay complete for every code the codec knows.  The
+                    # protocol's declared seed states (when few enough to
+                    # fit the budget) join the start set, so protocols
+                    # with a small *complete* concrete space — e.g. the
+                    # Cai baseline's n label states — compile tables that
+                    # also cover adversarial starts outside the designated
+                    # configuration's closure.
+                    start_codes = codes.tolist()
+                    declared = list(self._protocol.seed_states())
+                    if declared and len(declared) <= max_dense_states:
+                        start_codes.extend(
+                            codec.encode(state) for state in declared
+                        )
                     cache.dense_tables = compile_dense_tables(
-                        self._protocol, codec, codes.tolist(),
+                        self._protocol, codec, start_codes,
                         max_states=max_dense_states,
                     )
                 cache.mode = "dense"
@@ -1268,14 +1261,25 @@ def make_simulator(
     """Build a simulator for ``protocol`` by engine name.
 
     ``engine="reference"`` returns the agent-level :class:`Simulator`,
-    ``engine="array"`` the vectorized :class:`ArraySimulator`.  Both accept
-    the shared keyword arguments (``configuration``, ``random_state``,
-    ``metrics``, ``convergence_interval``).
+    ``engine="array"`` the vectorized :class:`ArraySimulator`, and
+    ``engine="auto"`` asks the backend registry
+    (:mod:`repro.core.backends`) for the fastest agent-level backend
+    capable of the protocol — negotiated through the protocol's
+    rng-consumption declaration.  All engines accept the shared keyword
+    arguments (``configuration``, ``random_state``, ``metrics``,
+    ``convergence_interval``).
     """
     if engine == "reference":
         return Simulator(protocol, **kwargs)
     if engine == "array":
         return ArraySimulator(protocol, **kwargs)
+    if engine == "auto":
+        from .backends import resolve_backend
+
+        backend, _ = resolve_backend(
+            protocol, "fresh", protocol.n, engine="auto", kinds=("agent",)
+        )
+        return backend.create(protocol, **kwargs)
     raise ValueError(
-        f"unknown engine {engine!r}; expected one of {ENGINE_NAMES}"
+        f"unknown engine {engine!r}; expected one of {ENGINE_NAMES + ('auto',)}"
     )

@@ -1,0 +1,388 @@
+"""Engine backends: a registry with per-cell capability negotiation.
+
+Engine selection used to be a string set hardcoded in the experiment layer
+(``_ENGINES`` in ``study.py``) plus ad-hoc branches in the CLI and the
+drivers — every rule about what an engine can run ("aggregate only
+simulates space-efficient-ranking", "the array engine falls back to the
+object path when transitions draw randomness") lived far away from the
+engine it described.  This module makes the engines first-class:
+
+* a :class:`Backend` names one engine and answers a
+  :meth:`~Backend.capabilities` probe — given a protocol instance, a
+  workload name and a population size, it reports whether it can run the
+  cell, its exactness class, whether it records metric series, and a
+  relative throughput hint;
+* a registry maps engine names to backends
+  (:func:`register_backend` / :func:`get_backend` / :func:`backend_names`);
+* :func:`resolve_backend` turns a requested engine — a concrete name or
+  the :data:`AUTO_ENGINE` sentinel ``"auto"`` — into the backend that will
+  serve a cell, picking the fastest capable backend under ``"auto"``.
+
+Resolution is a pure function of ``(protocol, workload, n, requirements)``,
+so it is deterministic across processes: a parallel study resolves every
+cell exactly like a serial one, and the resolved backend name is recorded
+per row.
+
+Exactness classes
+-----------------
+``"trajectory"``
+    Bit-identical to the reference simulator for the same seed (the
+    reference itself, and the array engine on every path).
+``"distribution"``
+    Exact in distribution but simulated in a different representation
+    (the aggregate engine evolves group counts, not agents).
+
+The reference and array backends are registered here; the aggregate
+backend's *capability logic* also lives here (it needs nothing but the
+protocol's name), while its execution stays with the experiment layer —
+it simulates counts, not agents, and therefore has ``kind="aggregate"``
+rather than the agent-level ``create`` contract.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+from typing import Dict, Optional, Sequence, Tuple
+
+from .errors import ExperimentError
+from .protocol import PopulationProtocol
+
+__all__ = [
+    "AUTO_ENGINE",
+    "Backend",
+    "BackendCapability",
+    "ReferenceBackend",
+    "ArrayBackend",
+    "AggregateBackend",
+    "register_backend",
+    "get_backend",
+    "backend_names",
+    "engine_choices",
+    "resolve_backend",
+    "capability_matrix",
+]
+
+#: Engine name that asks the registry to pick the fastest capable backend.
+AUTO_ENGINE = "auto"
+
+
+@dataclass(frozen=True)
+class BackendCapability:
+    """One backend's answer to "can you run this cell, and how well?".
+
+    Attributes
+    ----------
+    supported:
+        Whether the backend can run the cell at all.
+    exactness:
+        ``"trajectory"`` (bit-identical to the reference for the same
+        seed) or ``"distribution"`` (exact in distribution); empty when
+        unsupported.
+    supports_series:
+        Whether the backend can record metric time series.
+    throughput_hint:
+        Expected throughput relative to the reference simulator (1.0);
+        the ``auto`` resolver maximizes this among supported backends.
+    reason:
+        Why the cell is unsupported, or a note on how it will run (e.g.
+        the array engine's object fallback).
+    """
+
+    supported: bool
+    exactness: str = ""
+    supports_series: bool = True
+    throughput_hint: float = 0.0
+    reason: str = ""
+
+
+class Backend(abc.ABC):
+    """One simulation engine, as seen by the experiment layer."""
+
+    #: Registry name (the ``engine=`` string).
+    name: str = "backend"
+    #: ``"agent"`` backends implement :meth:`create`; ``"aggregate"``
+    #: backends simulate counts and are driven by the experiment layer.
+    kind: str = "agent"
+    #: Whether :meth:`create` accepts a shared ``EngineCache``.
+    uses_cache: bool = False
+
+    @abc.abstractmethod
+    def capabilities(
+        self,
+        protocol: PopulationProtocol,
+        workload: str,
+        n: int,
+        *,
+        series: bool = False,
+        stop_on_convergence: bool = True,
+    ) -> BackendCapability:
+        """Probe whether (and how well) this backend can run one cell.
+
+        ``protocol`` is a constructed protocol instance (so declarations
+        like :meth:`~repro.core.protocol.PopulationProtocol
+        .consumes_randomness` are available), ``workload`` the
+        initial-configuration family name, ``series`` whether the cell
+        records metric time series.
+        """
+
+    def create(self, protocol: PopulationProtocol, *, cache=None, **kwargs):
+        """Build a simulator for an agent-level cell (``kind == "agent"``).
+
+        ``kwargs`` are the shared simulator arguments (``configuration``,
+        ``random_state``, ``metrics``, ``convergence_interval``); ``cache``
+        is an :class:`~repro.core.array_engine.EngineCache` honoured only
+        by backends with ``uses_cache``.
+        """
+        raise NotImplementedError(
+            f"backend {self.name!r} (kind={self.kind!r}) does not build "
+            "agent-level simulators"
+        )
+
+
+class ReferenceBackend(Backend):
+    """The agent-level ground-truth simulator: always capable, baseline speed."""
+
+    name = "reference"
+
+    def capabilities(self, protocol, workload, n, *, series=False,
+                     stop_on_convergence=True):
+        return BackendCapability(
+            supported=True,
+            exactness="trajectory",
+            supports_series=True,
+            throughput_hint=1.0,
+        )
+
+    def create(self, protocol, *, cache=None, **kwargs):
+        from .simulation import Simulator
+
+        return Simulator(protocol, **kwargs)
+
+
+class ArrayBackend(Backend):
+    """The vectorized engine: bit-identical, fast when pairs tabulate.
+
+    The throughput hint negotiates with the protocol's rng-consumption
+    declaration: a protocol that declares randomness-free transitions gets
+    the warm tabulated paths (measured ~12x on full ``StableRanking``
+    runs), an undeclared protocol is assumed tabulable but scored
+    conservatively, and a protocol that declares rng consumption would run
+    on the object fallback — still exact, but no faster than the
+    reference, so ``auto`` prefers the reference for it.
+    """
+
+    name = "array"
+    uses_cache = True
+
+    #: Hints by declaration: declared-deterministic, unknown, declared-rng.
+    HINT_TABULATED = 12.0
+    HINT_UNKNOWN = 3.0
+    HINT_OBJECT_FALLBACK = 0.8
+
+    def capabilities(self, protocol, workload, n, *, series=False,
+                     stop_on_convergence=True):
+        from .array_engine import _MAX_RANK
+
+        declared = protocol.consumes_randomness()
+        if declared is True or n >= _MAX_RANK:
+            # Same conditions as ArraySimulator._select_mode: declared rng
+            # consumption, or a population beyond the packed-rank capacity
+            # of the table entries, lands on the object fallback — exact
+            # but no faster than the reference, so `auto` must not prefer
+            # it on a 12x hint.
+            reason = (
+                "transition consumes randomness; state pairs cannot be "
+                "tabulated, so runs take the object fallback path"
+                if declared is True
+                else f"n >= {_MAX_RANK} exceeds the packed-table rank "
+                "capacity, so runs take the object fallback path"
+            )
+            return BackendCapability(
+                supported=True,
+                exactness="trajectory",
+                supports_series=True,
+                throughput_hint=self.HINT_OBJECT_FALLBACK,
+                reason=reason,
+            )
+        return BackendCapability(
+            supported=True,
+            exactness="trajectory",
+            supports_series=True,
+            throughput_hint=(
+                self.HINT_TABULATED if declared is False else self.HINT_UNKNOWN
+            ),
+        )
+
+    def create(self, protocol, *, cache=None, **kwargs):
+        from .array_engine import ArraySimulator
+
+        return ArraySimulator(protocol, cache=cache, **kwargs)
+
+
+class AggregateBackend(Backend):
+    """The exact event-driven engine on group counts (paper-scale runs).
+
+    Only simulates ``SpaceEfficientRanking`` from the Figure 3 start (the
+    event decomposition is hand-derived per protocol), evolves counts
+    rather than agents (exact in distribution, not per-trajectory), and
+    records no metric series.  These constraints used to be special-cased
+    in ``ExperimentSpec.validate``; they are this backend's capability
+    answer now.
+    """
+
+    name = "aggregate"
+    kind = "aggregate"
+
+    #: Protocols with a hand-derived event decomposition.
+    SUPPORTED_PROTOCOLS = ("space-efficient-ranking",)
+    #: The decomposition starts from the leader-already-elected state.
+    SUPPORTED_WORKLOADS = ("figure3",)
+
+    def capabilities(self, protocol, workload, n, *, series=False,
+                     stop_on_convergence=True):
+        if protocol.name not in self.SUPPORTED_PROTOCOLS:
+            return BackendCapability(
+                supported=False,
+                reason=(
+                    "the aggregate engine only simulates "
+                    "space-efficient-ranking (its event decomposition is "
+                    "hand-derived per protocol)"
+                ),
+            )
+        if workload not in self.SUPPORTED_WORKLOADS:
+            return BackendCapability(
+                supported=False,
+                reason="the aggregate engine starts from the figure3 workload",
+            )
+        if series:
+            return BackendCapability(
+                supported=False,
+                supports_series=False,
+                reason="the aggregate engine does not record metric series",
+            )
+        return BackendCapability(
+            supported=True,
+            exactness="distribution",
+            supports_series=False,
+            throughput_hint=200.0,
+        )
+
+
+# ----------------------------------------------------------------------
+# Registry
+# ----------------------------------------------------------------------
+_REGISTRY: Dict[str, Backend] = {}
+
+
+def register_backend(backend: Backend, replace: bool = False) -> Backend:
+    """Add a backend to the registry (insertion order is tie-break order).
+
+    Like the experiment layer's protocol/workload registries, the registry
+    is per-process module state: parallel studies run cells in *spawned*
+    worker processes that re-import :mod:`repro`, so a custom backend must
+    be registered at import time of a module those workers also import
+    (e.g. a package ``__init__``), not ad hoc in a script — otherwise the
+    workers resolve against the built-in backends only and a parallel run
+    can diverge from a serial one.
+    """
+    if not replace and backend.name in _REGISTRY:
+        raise ExperimentError(f"backend {backend.name!r} is already registered")
+    _REGISTRY[backend.name] = backend
+    return backend
+
+
+def get_backend(name: str) -> Backend:
+    """The registered backend called ``name``."""
+    backend = _REGISTRY.get(name)
+    if backend is None:
+        raise ExperimentError(
+            f"unknown engine {name!r}; expected one of {engine_choices()}"
+        )
+    return backend
+
+
+def backend_names() -> Tuple[str, ...]:
+    """All registered backend names, in registration order."""
+    return tuple(_REGISTRY)
+
+
+def engine_choices() -> Tuple[str, ...]:
+    """Valid ``engine=`` values: every backend name plus ``"auto"``."""
+    return backend_names() + (AUTO_ENGINE,)
+
+
+def resolve_backend(
+    protocol: PopulationProtocol,
+    workload: str,
+    n: int,
+    *,
+    engine: str = AUTO_ENGINE,
+    series: bool = False,
+    stop_on_convergence: bool = True,
+    kinds: Optional[Sequence[str]] = None,
+) -> Tuple[Backend, BackendCapability]:
+    """Resolve an engine request for one cell into a capable backend.
+
+    A concrete ``engine`` name returns that backend — raising
+    :class:`~repro.core.errors.ExperimentError` with the backend's reason
+    when it cannot run the cell.  ``engine="auto"`` returns the supported
+    backend with the highest throughput hint (registration order breaks
+    ties), restricted to the given ``kinds`` when provided.
+    """
+    if engine != AUTO_ENGINE:
+        backend = get_backend(engine)
+        if kinds is not None and backend.kind not in kinds:
+            raise ExperimentError(
+                f"engine {engine!r} (kind={backend.kind!r}) cannot serve "
+                f"this context (expected kind in {tuple(kinds)})"
+            )
+        capability = backend.capabilities(
+            protocol, workload, n, series=series,
+            stop_on_convergence=stop_on_convergence,
+        )
+        if not capability.supported:
+            raise ExperimentError(
+                f"engine {engine!r} cannot run protocol "
+                f"{protocol.name!r} with workload {workload!r}: "
+                f"{capability.reason}"
+            )
+        return backend, capability
+
+    best: Optional[Tuple[Backend, BackendCapability]] = None
+    for backend in _REGISTRY.values():
+        if kinds is not None and backend.kind not in kinds:
+            continue
+        capability = backend.capabilities(
+            protocol, workload, n, series=series,
+            stop_on_convergence=stop_on_convergence,
+        )
+        if not capability.supported:
+            continue
+        if best is None or capability.throughput_hint > best[1].throughput_hint:
+            best = (backend, capability)
+    if best is None:
+        raise ExperimentError(
+            f"no registered backend supports protocol {protocol.name!r} "
+            f"with workload {workload!r}"
+        )
+    return best
+
+
+def capability_matrix(
+    protocol: PopulationProtocol,
+    workload: str,
+    n: int,
+    *,
+    series: bool = False,
+) -> Dict[str, BackendCapability]:
+    """Every backend's capability answer for one cell (diagnostics/CLI)."""
+    return {
+        name: backend.capabilities(protocol, workload, n, series=series)
+        for name, backend in _REGISTRY.items()
+    }
+
+
+register_backend(ReferenceBackend())
+register_backend(ArrayBackend())
+register_backend(AggregateBackend())

@@ -20,7 +20,7 @@ from __future__ import annotations
 
 import abc
 from dataclasses import dataclass
-from typing import Callable, Generic, Optional, TypeVar
+from typing import Callable, Generic, Optional, Sequence, Tuple, TypeVar
 
 import numpy as np
 
@@ -135,6 +135,45 @@ class PopulationProtocol(abc.ABC, Generic[S]):
         this; returning ``None`` means "not tracked".
         """
         return None
+
+    def consumes_randomness(self) -> Optional[bool]:
+        """Whether :meth:`transition` ever draws from the rng.
+
+        The array engine and the backend registry use this declaration for
+        capability negotiation: ``False`` promises that every transition is
+        a pure function of the two states (so state pairs can be tabulated
+        and the protocol runs on the array engine's warm path), ``True``
+        declares that some transitions draw randomness (the engine goes
+        straight to its object fallback instead of discovering the fact on
+        the first tabulation attempt), and ``None`` (the default) leaves
+        the engine to probe dynamically.  A wrong ``False`` is harmless —
+        the probing rng still raises and the engine demotes mid-run — but
+        costs a failed tabulation; a wrong ``True`` only forfeits speed.
+        """
+        return None
+
+    def codec_fields(self) -> Tuple[str, ...]:
+        """Field names that fully determine this protocol's agent states.
+
+        Used with :meth:`StateCodec.field_columns
+        <repro.core.codec.StateCodec.field_columns>` to project interned
+        states into per-field integer columns (SoA kernels, capability
+        matrices, cross-engine equivalence tests).  An empty tuple (the
+        default) means the projection is undeclared.
+        """
+        return ()
+
+    def seed_states(self) -> Sequence[S]:
+        """Representative states to seed reachable-space enumeration.
+
+        The array engine closes the *initial configuration's* states under
+        the transition function when compiling dense tables; protocols
+        whose full concrete state space is small can return it here so the
+        compiled tables also cover configurations outside that closure
+        (adversarial starts, fault-injected rankings).  The default empty
+        sequence keeps the configuration-only behaviour.
+        """
+        return ()
 
     def vectorized_kernel(self, codec):
         """Optional struct-of-arrays fast path for the array engine.

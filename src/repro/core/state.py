@@ -20,11 +20,12 @@ checked by helpers instead of being baked into the data structure.
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass
+from dataclasses import dataclass, fields
 from typing import Optional
 
 __all__ = [
     "AgentState",
+    "AGENT_STATE_FIELDS",
     "Role",
     "classify_role",
     "UNDEFINED",
@@ -32,6 +33,12 @@ __all__ = [
 
 #: Alias documenting that ``None`` plays the role of the paper's ``⊥``.
 UNDEFINED = None
+
+#: Field names of :class:`AgentState` in declaration (= ``as_tuple``) order,
+#: derived from the dataclass so a newly added field can never be silently
+#: missing from ``codec_fields()`` projections.  Protocols whose agents are
+#: plain :class:`AgentState` return this from ``codec_fields()``.
+#: (Assigned below the class definition.)
 
 
 class Role(enum.Enum):
@@ -249,6 +256,9 @@ class AgentState:
         """Flip the synthetic coin if the agent has one (cf. Protocol 3, line 9)."""
         if self.coin is not None:
             self.coin = 1 - self.coin
+
+
+AGENT_STATE_FIELDS = tuple(field.name for field in fields(AgentState))
 
 
 def classify_role(state: AgentState) -> Role:

@@ -71,7 +71,7 @@ def _figure2_specs(args):
         seeds=args.seeds if args.seeds is not None else 1,
         samples=args.samples,
         max_normalized_interactions=args.max_factor or 200.0,
-        engine=args.engine or "reference",
+        engine=args.engine or "auto",
         random_state=args.seed,
     )
 
@@ -89,7 +89,7 @@ def _figure3_specs(args):
         n_values=_parse_ints(args.n, _figure3.PAPER_POPULATION_SIZES),
         fractions=_parse_floats(args.fractions, _figure3.PAPER_FRACTIONS),
         repetitions=args.seeds if args.seeds is not None else 100,
-        engine=args.engine or "aggregate",
+        engine=args.engine or "auto",
         max_interactions_factor=args.max_factor or 500.0,
         random_state=args.seed,
     )
@@ -103,7 +103,7 @@ def _scaling_specs(args):
     return _scaling.scaling_specs(
         n_values=_parse_ints(args.n, (64, 128, 256, 512, 1024)),
         repetitions=args.seeds if args.seeds is not None else 20,
-        engine=args.engine or "aggregate",
+        engine=args.engine or "auto",
         max_interactions_factor=args.max_factor or 2000.0,
         random_state=args.seed,
     )
@@ -124,7 +124,7 @@ def _comparison_specs(args):
             else None
         ),
         max_interactions_factor=int(args.max_factor or 400),
-        engine=args.engine or "reference",
+        engine=args.engine or "auto",
         random_state=args.seed,
     )
 
@@ -140,7 +140,7 @@ def _fault_specs(args):
         repetitions=args.seeds if args.seeds is not None else 5,
         faults=_parse_strs(args.faults, _fault.FAULT_MODELS),
         max_interactions_factor=int(args.max_factor or 400),
-        engine=args.engine or "reference",
+        engine=args.engine or "auto",
         random_state=args.seed,
     )
 
@@ -180,6 +180,30 @@ EXPERIMENTS = {
 }
 
 
+def _capability_matrix_lines(parser: argparse.ArgumentParser) -> List[str]:
+    """One line per (preset, variant): the backend each protocol resolves to.
+
+    Uses every preset's *default* arguments, so the matrix shows what
+    ``python -m repro run <experiment>`` would actually do — including the
+    ``auto`` negotiation through the backend registry.
+    """
+    lines = ["", "resolved backends (engine -> backend per protocol):"]
+    for name in sorted(EXPERIMENTS):
+        args = parser.parse_args(["run", name])
+        try:
+            specs = EXPERIMENTS[name]["specs"](args)
+        except ExperimentError as error:  # pragma: no cover - defensive
+            lines.append(f"  {name}: unavailable ({error})")
+            continue
+        for spec in specs:
+            resolved = sorted({spec.resolve_backend(n) for n in spec.n_values})
+            lines.append(
+                f"  {name}/{spec.variant}: {spec.protocol} "
+                f"[{spec.engine}] -> {', '.join(resolved)}"
+            )
+    return lines
+
+
 def build_study(experiment: str, args) -> Study:
     """Build the :class:`Study` for a named experiment preset."""
     if experiment not in EXPERIMENTS:
@@ -209,7 +233,9 @@ def _build_parser() -> argparse.ArgumentParser:
     run.add_argument("--seeds", type=int, default=None,
                      help="independent seeded runs per (variant, n) cell")
     run.add_argument("--engine", default=None,
-                     help="simulation engine (reference | array | aggregate)")
+                     help="simulation engine (auto | reference | array | "
+                          "aggregate); auto (the default) resolves each "
+                          "cell to the fastest capable backend")
     run.add_argument("--jobs", type=int, default=1,
                      help="worker processes for the cell fan-out (default 1)")
     run.add_argument("--out", default="results",
@@ -246,6 +272,9 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         width = max(len(name) for name in EXPERIMENTS)
         for name in sorted(EXPERIMENTS):
             print(f"  {name:<{width}}  {EXPERIMENTS[name]['help']}")
+        if args.command == "list":
+            for line in _capability_matrix_lines(parser):
+                print(line)
         if args.command is None:
             print("\nusage: python -m repro run <experiment> [options]")
         return 0

@@ -81,7 +81,7 @@ def figure2_specs(
     max_normalized_interactions: float = 200.0,
     samples: int = 240,
     l_max: Optional[int] = None,
-    engine: str = "reference",
+    engine: str = "auto",
     random_state: int = 0,
 ) -> Tuple[ExperimentSpec, ...]:
     """The Figure 2 scenario as a declarative spec.
@@ -162,6 +162,10 @@ def run_figure2(
         max_normalized_interactions=max_normalized_interactions,
         samples=samples,
         l_max=l_max,
+        # The legacy entry point pins its historical engine: its seeded
+        # results (the engine is part of the spec identity) must not
+        # change under it, deprecation shim or not.
+        engine="reference",
         random_state=coerce_seed(random_state),
     )
     result = Study(specs, name="figure2").run()

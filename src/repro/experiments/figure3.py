@@ -99,14 +99,17 @@ def figure3_specs(
     n_values: Sequence[int] = PAPER_POPULATION_SIZES,
     fractions: Sequence[float] = PAPER_FRACTIONS,
     repetitions: int = 100,
-    engine: str = "aggregate",
+    engine: str = "auto",
     c_wait: float = 2.0,
     max_interactions_factor: float = 500.0,
     random_state: int = 0,
 ) -> Tuple[ExperimentSpec, ...]:
-    """The Figure 3 sweep as a declarative spec."""
-    if engine not in ("aggregate", "reference", "array"):
-        raise ExperimentError(f"unknown engine {engine!r}")
+    """The Figure 3 sweep as a declarative spec.
+
+    The default ``engine="auto"`` resolves to the aggregate engine (the
+    paper-scale choice for this workload) through the backend registry;
+    pass ``"reference"`` or ``"array"`` for agent-level validation runs.
+    """
     return (
         ExperimentSpec(
             variant="figure3",
@@ -127,11 +130,14 @@ def figure3_result_from_rows(result: ResultSet) -> Figure3Result:
     """Convert a study result set into the legacy :class:`Figure3Result`."""
     spec = result.specs[0]
     fractions = tuple(spec.milestone_fractions)
+    # Report the backend(s) that actually served the rows — under
+    # engine="auto" the spec only records the request.
+    engines = sorted({row.engine for row in result.rows}) or [spec.engine]
     out = Figure3Result(
         fractions=fractions,
         n_values=tuple(spec.n_values),
         repetitions=spec.seeds,
-        engine=spec.engine,
+        engine="/".join(engines),
     )
     for n in spec.n_values:
         per_fraction: Dict[float, List[float]] = {f: [] for f in fractions}

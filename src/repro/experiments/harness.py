@@ -15,7 +15,8 @@ from typing import Callable, Dict, List, Optional, Sequence
 
 import numpy as np
 
-from ..core.array_engine import ENGINE_NAMES, ArraySimulator, EngineCache
+from ..core import backends as _backends
+from ..core.array_engine import EngineCache
 from ..core.configuration import Configuration
 from ..core.errors import ExperimentError
 from ..core.protocol import PopulationProtocol
@@ -106,10 +107,11 @@ class ExperimentRunner:
     random_state:
         Master seed; per-run seeds are spawned deterministically from it.
     engine:
-        ``"reference"`` (the agent-level :class:`Simulator`, default) or
-        ``"array"`` (the vectorized
-        :class:`~repro.core.array_engine.ArraySimulator`).  The array engine
-        shares one :class:`~repro.core.array_engine.EngineCache` across the
+        An agent-level backend name from :mod:`repro.core.backends`
+        (``"reference"``, the default, or ``"array"``), or ``"auto"`` to
+        negotiate the fastest capable backend per protocol through the
+        registry.  The array engine shares one
+        :class:`~repro.core.array_engine.EngineCache` across the
         repetitions — sound because the factory builds identically
         parameterized protocols — so the transition tabulation is paid once
         per sweep instead of once per run.
@@ -125,9 +127,13 @@ class ExperimentRunner:
     ):
         if max_interactions < 1:
             raise ExperimentError("max_interactions must be positive")
-        if engine not in ENGINE_NAMES:
+        agent_choices = tuple(
+            name for name in _backends.backend_names()
+            if _backends.get_backend(name).kind == "agent"
+        ) + (_backends.AUTO_ENGINE,)
+        if engine not in agent_choices:
             raise ExperimentError(
-                f"unknown engine {engine!r}; expected one of {ENGINE_NAMES}"
+                f"unknown engine {engine!r}; expected one of {agent_choices}"
             )
         self._protocol_factory = protocol_factory
         self._configuration_factory = configuration_factory or (
@@ -136,7 +142,7 @@ class ExperimentRunner:
         self._max_interactions = max_interactions
         self._random_state = random_state
         self._engine = engine
-        self._engine_cache = EngineCache() if engine == "array" else None
+        self._engine_cache: Optional[EngineCache] = None
 
     @property
     def engine(self) -> str:
@@ -144,14 +150,18 @@ class ExperimentRunner:
         return self._engine
 
     def _build_simulator(self, protocol, configuration, rng):
-        if self._engine == "array":
-            return ArraySimulator(
-                protocol,
-                configuration=configuration,
-                random_state=rng,
-                cache=self._engine_cache,
-            )
-        return Simulator(protocol, configuration=configuration, random_state=rng)
+        backend, _ = _backends.resolve_backend(
+            protocol, "fresh", protocol.n,
+            engine=self._engine, kinds=("agent",),
+        )
+        cache = None
+        if backend.uses_cache:
+            if self._engine_cache is None:
+                self._engine_cache = EngineCache()
+            cache = self._engine_cache
+        return backend.create(
+            protocol, configuration=configuration, random_state=rng, cache=cache
+        )
 
     def run(
         self,

@@ -51,10 +51,10 @@ from ..analysis.statistics import RunSummary, summarize
 from ..baselines.burman_ranking import BurmanStyleRanking
 from ..baselines.cai_ranking import CaiRanking
 from ..baselines.token_counter_ranking import TokenCounterRanking
-from ..core.array_engine import ArraySimulator, EngineCache
+from ..core import backends as _backends
+from ..core.array_engine import EngineCache
 from ..core.errors import ExperimentError
 from ..core.metrics import MetricsCollector, standard_ranking_probes
-from ..core.simulation import Simulator
 from ..protocols.ranking.aggregate_space_efficient import (
     AggregateSpaceEfficientRanking,
 )
@@ -145,7 +145,13 @@ EXTRACTORS: Dict[str, Callable] = {
     },
 }
 
-_ENGINES = ("reference", "array", "aggregate")
+
+
+#: Per-process memo of spec matrices whose explicit-engine capability
+#: validation already ran (keyed by identity seed + matrix n_values), so
+#: worker-side ``from_dict`` calls pay the resolution pass once per spec
+#: rather than once per cell.
+_VALIDATED_MATRICES: set = set()
 
 
 # ----------------------------------------------------------------------
@@ -166,15 +172,20 @@ class ExperimentSpec:
         Label distinguishing this spec's rows inside the study (protocol
         name, fault model, …).
     protocol:
-        Key into :data:`PROTOCOLS` (ignored by the ``aggregate`` engine,
-        which is itself the protocol).
+        Key into :data:`PROTOCOLS`.  Required for every spec: backend
+        capability probes run against the constructed protocol instance
+        (the aggregate engine accepts only ``space-efficient-ranking``
+        and substitutes its own count-level simulation at run time).
     n_values, seeds:
         The matrix extent: population sizes × independent seeded runs.
         Deliberately excluded from the spec's identity hash so a study
         can be extended in place (see ``identity_dict``).
     engine:
-        ``"reference"``, ``"array"`` or ``"aggregate"`` (the latter only
-        for ``space-efficient-ranking`` with the ``figure3`` workload).
+        A backend name from :mod:`repro.core.backends` (``"reference"``,
+        ``"array"``, ``"aggregate"``) or ``"auto"`` (the default), which
+        resolves each cell to the fastest backend whose
+        :meth:`~repro.core.backends.Backend.capabilities` probe accepts
+        it.  Rows record the *resolved* backend name.
     workload:
         Key into :data:`WORKLOADS` — the initial-configuration family.
     protocol_params, workload_params:
@@ -202,7 +213,7 @@ class ExperimentSpec:
     protocol: str = "stable-ranking"
     n_values: Tuple[int, ...] = (64,)
     seeds: int = 1
-    engine: str = "reference"
+    engine: str = "auto"
     workload: str = "fresh"
     protocol_params: Mapping[str, object] = field(default_factory=dict)
     workload_params: Mapping[str, object] = field(default_factory=dict)
@@ -223,11 +234,12 @@ class ExperimentSpec:
         object.__setattr__(self, "extractors", tuple(self.extractors))
         object.__setattr__(self, "protocol_params", dict(self.protocol_params))
         object.__setattr__(self, "workload_params", dict(self.workload_params))
-        if self.engine not in _ENGINES:
+        if self.engine not in _backends.engine_choices():
             raise ExperimentError(
-                f"unknown engine {self.engine!r}; expected one of {_ENGINES}"
+                f"unknown engine {self.engine!r}; expected one of "
+                f"{_backends.engine_choices()}"
             )
-        if self.engine != "aggregate" and self.protocol not in PROTOCOLS:
+        if self.protocol not in PROTOCOLS:
             raise ExperimentError(f"unknown protocol {self.protocol!r}")
         if self.workload not in WORKLOADS:
             raise ExperimentError(f"unknown workload {self.workload!r}")
@@ -240,19 +252,20 @@ class ExperimentSpec:
             raise ExperimentError("n_values must not be empty")
         if self.max_interactions_factor <= 0:
             raise ExperimentError("max_interactions_factor must be positive")
-        if self.engine == "aggregate":
-            if self.protocol != "space-efficient-ranking":
-                raise ExperimentError(
-                    "the aggregate engine only simulates space-efficient-ranking"
-                )
-            if self.workload != "figure3":
-                raise ExperimentError(
-                    "the aggregate engine starts from the figure3 workload"
-                )
-            if self.samples:
-                raise ExperimentError(
-                    "the aggregate engine does not record metric series"
-                )
+        # Engine-specific constraints live with the backends now: an
+        # *explicit* engine must be capable of every cell of the matrix
+        # (raises ExperimentError with the backend's reason otherwise).
+        # ``engine="auto"`` needs no validation pass — the reference
+        # backend supports every agent-level cell, so auto resolution
+        # cannot fail.  The pass is memoized per process: worker-side
+        # ``from_dict`` round-trips happen once per *cell*, and rebuilding
+        # the whole protocol matrix each time would dominate small cells.
+        if self.engine != _backends.AUTO_ENGINE:
+            memo_key = (self.identity_seed(), self.n_values)
+            if memo_key not in _VALIDATED_MATRICES:
+                for n in self.n_values:
+                    self.resolve_backend(n)
+                _VALIDATED_MATRICES.add(memo_key)
 
     def as_dict(self) -> dict:
         """The full spec as JSON-ready data (matrix extent included)."""
@@ -295,6 +308,37 @@ class ExperimentSpec:
         canonical = json.dumps(self.identity_dict(), sort_keys=True)
         digest = hashlib.sha256(canonical.encode()).digest()
         return int.from_bytes(digest[:8], "big") & 0x7FFF_FFFF_FFFF_FFFF
+
+    # ------------------------------------------------------------------
+    # Backend negotiation
+    # ------------------------------------------------------------------
+    def build_protocol(self, n: int):
+        """Construct the protocol instance for one population size."""
+        return PROTOCOLS[self.protocol](n, **self.protocol_params)
+
+    def resolve(self, n: int):
+        """The ``(backend, capability)`` pair serving this spec's ``n`` cells.
+
+        A concrete ``engine`` resolves to that backend (raising
+        :class:`~repro.core.errors.ExperimentError` when it cannot run the
+        cell); ``engine="auto"`` negotiates the fastest capable backend
+        through each backend's
+        :meth:`~repro.core.backends.Backend.capabilities` probe.  The
+        resolution is a pure function of the spec and ``n``, so parallel
+        workers resolve identically to a serial run.
+        """
+        return _backends.resolve_backend(
+            self.build_protocol(n),
+            self.workload,
+            n,
+            engine=self.engine,
+            series=self.samples > 0,
+            stop_on_convergence=self.stop_on_convergence,
+        )
+
+    def resolve_backend(self, n: int) -> str:
+        """Name of the concrete backend serving this spec's ``n`` cells."""
+        return self.resolve(n)[0].name
 
 
 # ----------------------------------------------------------------------
@@ -515,15 +559,32 @@ def _cell_rng_sequences(spec: ExperimentSpec, n: int, seed_index: int):
 
 
 def execute_cell(spec_payload: Mapping, n: int, seed_index: int) -> dict:
-    """Run one (variant, n, seed) cell and return its row dictionary."""
+    """Run one (variant, n, seed) cell and return its row dictionary.
+
+    The cell's engine request (concrete name or ``"auto"``) is resolved
+    through the backend registry; the returned row records the *resolved*
+    backend in its ``engine`` field, so a store always shows which engine
+    actually served each cell.
+    """
     spec = ExperimentSpec.from_dict(dict(spec_payload))
     workload_seq, run_seq = _cell_rng_sequences(spec, n, seed_index)
-    if spec.engine == "aggregate":
-        return _execute_aggregate(spec, n, seed_index, run_seq)
-    return _execute_agent_level(spec, n, seed_index, workload_seq, run_seq)
+    protocol = spec.build_protocol(n)
+    backend, _capability = _backends.resolve_backend(
+        protocol,
+        spec.workload,
+        n,
+        engine=spec.engine,
+        series=spec.samples > 0,
+        stop_on_convergence=spec.stop_on_convergence,
+    )
+    if backend.kind == "aggregate":
+        return _execute_aggregate(spec, n, seed_index, run_seq, backend)
+    return _execute_agent_level(
+        spec, protocol, n, seed_index, workload_seq, run_seq, backend
+    )
 
 
-def _execute_aggregate(spec, n, seed_index, run_seq) -> dict:
+def _execute_aggregate(spec, n, seed_index, run_seq, backend) -> dict:
     simulator = AggregateSpaceEfficientRanking(
         n,
         random_state=np.random.default_rng(run_seq),
@@ -535,7 +596,7 @@ def _execute_aggregate(spec, n, seed_index, run_seq) -> dict:
         study="",
         variant=spec.variant,
         protocol="space-efficient-ranking",
-        engine=spec.engine,
+        engine=backend.name,
         n=n,
         seed_index=seed_index,
         converged=outcome.converged,
@@ -548,8 +609,9 @@ def _execute_aggregate(spec, n, seed_index, run_seq) -> dict:
     return row.as_dict()
 
 
-def _execute_agent_level(spec, n, seed_index, workload_seq, run_seq) -> dict:
-    protocol = PROTOCOLS[spec.protocol](n, **spec.protocol_params)
+def _execute_agent_level(
+    spec, protocol, n, seed_index, workload_seq, run_seq, backend
+) -> dict:
     configuration = WORKLOADS[spec.workload](
         protocol, np.random.default_rng(workload_seq), **spec.workload_params
     )
@@ -560,25 +622,26 @@ def _execute_agent_level(spec, n, seed_index, workload_seq, run_seq) -> dict:
         metrics = MetricsCollector(standard_ranking_probes(), interval=interval)
 
     rng = np.random.default_rng(run_seq)
-    if spec.engine == "array":
+    cache = None
+    if backend.uses_cache:
         cache_key = (spec.identity_seed(), n)
         cache = _ENGINE_CACHES.get(cache_key)
         if cache is None:
             cache = _ENGINE_CACHES[cache_key] = EngineCache()
-        simulator = ArraySimulator(
-            protocol,
-            configuration=configuration,
-            random_state=rng,
-            metrics=metrics,
-            cache=cache,
-        )
-    else:
-        simulator = Simulator(
-            protocol,
-            configuration=configuration,
-            random_state=rng,
-            metrics=metrics,
-        )
+    # The convergence cadence is pinned to the reference simulator's
+    # default (every ``n`` interactions) for every backend: recorded
+    # stopping times are a measured quantity, so they must not depend on
+    # which engine a cell resolved to.  Tabulating backends are
+    # bit-identical to the reference per interaction, so with the cadence
+    # matched their *rows* are identical too.
+    simulator = backend.create(
+        protocol,
+        configuration=configuration,
+        random_state=rng,
+        metrics=metrics,
+        cache=cache,
+        convergence_interval=n,
+    )
 
     milestones: Dict[str, int] = {}
     if spec.milestone_fractions:
@@ -624,7 +687,7 @@ def _execute_agent_level(spec, n, seed_index, workload_seq, run_seq) -> dict:
         study="",
         variant=spec.variant,
         protocol=protocol.name,
-        engine=spec.engine,
+        engine=backend.name,
         n=n,
         seed_index=seed_index,
         converged=row_converged,

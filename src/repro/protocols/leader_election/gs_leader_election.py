@@ -151,6 +151,10 @@ class GSLeaderElectionProtocol(PopulationProtocol[AgentState]):
             return TransitionResult(changed=changed)
         return TransitionResult(changed=False)
 
+    def consumes_randomness(self) -> bool:
+        """``True``: agents draw their lottery tags from the rng."""
+        return True
+
     def has_converged(self, configuration: Configuration[AgentState]) -> bool:
         leaders = 0
         for state in configuration.states:

@@ -121,6 +121,13 @@ class OneWayEpidemicProtocol(PopulationProtocol[EpidemicState]):
     def state_space_size(self) -> int:
         return 4  # informed x active
 
+    def consumes_randomness(self) -> bool:
+        """Infection is a deterministic function of the two states."""
+        return False
+
+    def codec_fields(self):
+        return ("informed", "active")
+
     def vectorized_kernel(self, codec):
         """The epidemic SoA kernel — the simplest exemplar of the hook."""
         return OneWayEpidemicKernel()

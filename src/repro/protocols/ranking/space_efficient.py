@@ -139,6 +139,15 @@ class SpaceEfficientRanking(RankingProtocol[AgentState]):
     def has_converged(self, configuration: Configuration[AgentState]) -> bool:
         return configuration.is_valid_ranking()
 
+    def consumes_randomness(self) -> bool:
+        """``True``: the GS leader-election substrate draws random tags."""
+        return True
+
+    def codec_fields(self):
+        from ...core.state import AGENT_STATE_FIELDS
+
+        return AGENT_STATE_FIELDS
+
     # ------------------------------------------------------------------
     # State accounting (Theorem 1)
     # ------------------------------------------------------------------

@@ -267,6 +267,15 @@ class StableRanking(RankingProtocol[AgentState]):
         )
         return info
 
+    def consumes_randomness(self) -> bool:
+        """Transitions are deterministic (synthetic coins are togglings)."""
+        return False
+
+    def codec_fields(self):
+        from ...core.state import AGENT_STATE_FIELDS
+
+        return AGENT_STATE_FIELDS
+
     def vectorized_kernel(self, codec):
         """The mid-run SoA fast path (coin toggles, liveness counters).
 

@@ -1,0 +1,147 @@
+"""Tests for the engine-backend registry and capability negotiation."""
+
+import pytest
+
+from repro.baselines.burman_ranking import BurmanStyleRanking
+from repro.baselines.cai_ranking import CaiRanking
+from repro.baselines.token_counter_ranking import TokenCounterRanking
+from repro.core import backends
+from repro.core.array_engine import ArraySimulator, make_simulator
+from repro.core.errors import ExperimentError
+from repro.core.simulation import Simulator
+from repro.protocols.ranking.space_efficient import SpaceEfficientRanking
+from repro.protocols.ranking.stable_ranking import StableRanking
+
+
+class TestRegistry:
+    def test_builtin_backends_are_registered(self):
+        assert backends.backend_names() == ("reference", "array", "aggregate")
+        assert backends.engine_choices() == (
+            "reference", "array", "aggregate", "auto",
+        )
+
+    def test_get_backend(self):
+        assert backends.get_backend("array").name == "array"
+        with pytest.raises(ExperimentError, match="unknown engine"):
+            backends.get_backend("warp")
+
+    def test_duplicate_registration_rejected(self):
+        with pytest.raises(ExperimentError, match="already registered"):
+            backends.register_backend(backends.ReferenceBackend())
+
+    def test_kinds(self):
+        assert backends.get_backend("reference").kind == "agent"
+        assert backends.get_backend("array").kind == "agent"
+        assert backends.get_backend("aggregate").kind == "aggregate"
+
+
+class TestCapabilities:
+    def test_reference_supports_everything(self):
+        capability = backends.get_backend("reference").capabilities(
+            TokenCounterRanking(8), "fresh", 8, series=True
+        )
+        assert capability.supported
+        assert capability.exactness == "trajectory"
+        assert capability.throughput_hint == 1.0
+
+    def test_array_negotiates_rng_declaration(self):
+        array = backends.get_backend("array")
+        tabulated = array.capabilities(StableRanking(8), "fresh", 8)
+        fallback = array.capabilities(TokenCounterRanking(8), "fresh", 8)
+        assert tabulated.supported and fallback.supported
+        assert tabulated.throughput_hint > 1.0
+        assert fallback.throughput_hint < 1.0
+        assert "object fallback" in fallback.reason
+
+    def test_aggregate_constraints_live_in_its_capabilities(self):
+        aggregate = backends.get_backend("aggregate")
+        ok = aggregate.capabilities(SpaceEfficientRanking(8), "figure3", 8)
+        assert ok.supported and ok.exactness == "distribution"
+        wrong_protocol = aggregate.capabilities(StableRanking(8), "figure3", 8)
+        assert not wrong_protocol.supported
+        assert "space-efficient-ranking" in wrong_protocol.reason
+        wrong_workload = aggregate.capabilities(
+            SpaceEfficientRanking(8), "fresh", 8
+        )
+        assert not wrong_workload.supported
+        with_series = aggregate.capabilities(
+            SpaceEfficientRanking(8), "figure3", 8, series=True
+        )
+        assert not with_series.supported
+
+
+class TestResolution:
+    def test_auto_picks_array_for_tabulable_protocols(self):
+        for protocol in (StableRanking(8), BurmanStyleRanking(8), CaiRanking(8)):
+            backend, capability = backends.resolve_backend(
+                protocol, "fresh", 8, engine="auto"
+            )
+            assert backend.name == "array", protocol.name
+            assert capability.exactness == "trajectory"
+
+    def test_auto_avoids_array_beyond_rank_capacity(self):
+        # At n >= 2^17 the array engine's packed tables cannot hold the
+        # ranks and it falls back to the object path, so the capability
+        # hint must drop below the reference and auto must not pick it.
+        n = 1 << 17
+        capability = backends.get_backend("array").capabilities(
+            StableRanking(n), "fresh", n
+        )
+        assert capability.supported
+        assert capability.throughput_hint < 1.0
+        assert "object fallback" in capability.reason
+        backend, _ = backends.resolve_backend(
+            StableRanking(n), "fresh", n, engine="auto", kinds=("agent",)
+        )
+        assert backend.name == "reference"
+
+    def test_auto_prefers_reference_for_rng_consuming_protocols(self):
+        backend, _ = backends.resolve_backend(
+            TokenCounterRanking(8), "fresh", 8, engine="auto"
+        )
+        assert backend.name == "reference"
+
+    def test_auto_picks_aggregate_for_figure3_cells(self):
+        backend, _ = backends.resolve_backend(
+            SpaceEfficientRanking(8), "figure3", 8, engine="auto"
+        )
+        assert backend.name == "aggregate"
+        # ...but not when the cell needs metric series.
+        backend, _ = backends.resolve_backend(
+            SpaceEfficientRanking(8), "figure3", 8, engine="auto", series=True
+        )
+        assert backend.name != "aggregate"
+
+    def test_explicit_engine_raises_with_backend_reason(self):
+        with pytest.raises(ExperimentError, match="space-efficient-ranking"):
+            backends.resolve_backend(
+                StableRanking(8), "figure3", 8, engine="aggregate"
+            )
+
+    def test_kind_restriction(self):
+        backend, _ = backends.resolve_backend(
+            SpaceEfficientRanking(8), "figure3", 8, engine="auto",
+            kinds=("agent",),
+        )
+        assert backend.kind == "agent"
+        with pytest.raises(ExperimentError):
+            backends.resolve_backend(
+                StableRanking(8), "fresh", 8, engine="aggregate",
+                kinds=("agent",),
+            )
+
+    def test_capability_matrix_covers_all_backends(self):
+        matrix = backends.capability_matrix(StableRanking(8), "fresh", 8)
+        assert set(matrix) == {"reference", "array", "aggregate"}
+        assert matrix["array"].supported
+        assert not matrix["aggregate"].supported
+
+
+class TestMakeSimulatorAuto:
+    def test_auto_builds_the_resolved_engine(self):
+        assert isinstance(
+            make_simulator(StableRanking(8), engine="auto"), ArraySimulator
+        )
+        assert isinstance(
+            make_simulator(TokenCounterRanking(8), engine="auto"), Simulator
+        )

@@ -26,6 +26,21 @@ class TestMainInProcess:
         for name in ("figure2", "figure3", "scaling", "comparison", "fault_injection"):
             assert name in out
 
+    def test_list_prints_capability_matrix(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "resolved backends" in out
+        # Every comparison protocol resolves off the reference engine...
+        assert "comparison/stable-ranking: stable-ranking [auto] -> array" in out
+        assert "comparison/cai-ranking: cai-ranking [auto] -> array" in out
+        assert (
+            "comparison/burman-style-ranking: burman-style-ranking [auto] "
+            "-> array" in out
+        )
+        # ...and the paper-scale presets negotiate the aggregate engine.
+        assert "figure3/figure3: space-efficient-ranking [auto] -> aggregate" in out
+        assert "scaling/scaling: space-efficient-ranking [auto] -> aggregate" in out
+
     def test_no_command_prints_overview(self, capsys):
         assert main([]) == 0
         assert "python -m repro run" in capsys.readouterr().out
@@ -69,6 +84,24 @@ class TestMainInProcess:
             "--out", str(tmp_path), "--quiet",
         ]) == 0
         assert "Fault-injection recovery" in capsys.readouterr().out
+
+    def test_comparison_auto_records_resolved_backend(self, tmp_path, capsys):
+        assert main([
+            "run", "comparison", "--n", "8", "--seeds", "1",
+            "--engine", "auto", "--out", str(tmp_path), "--quiet",
+        ]) == 0
+        capsys.readouterr()
+        store_dir = next(tmp_path.iterdir())
+        rows = [
+            json.loads(line)
+            for line in (store_dir / "rows.jsonl").read_text().splitlines()
+        ]
+        assert {row["variant"] for row in rows} == {
+            "stable-ranking", "burman-style-ranking", "cai-ranking",
+        }
+        # The store records which backend actually served each cell — and
+        # under "auto" every comparison cell runs off the reference engine.
+        assert all(row["engine"] == "array" for row in rows)
 
     def test_no_store(self, tmp_path, capsys):
         assert main([
@@ -114,6 +147,24 @@ class TestMainInProcess:
 
 
 class TestModuleEntryPoint:
+    def test_python_m_repro_list_capability_matrix(self):
+        environment = {
+            **os.environ,
+            "PYTHONPATH": str(REPO_SRC)
+            + (os.pathsep + os.environ["PYTHONPATH"] if os.environ.get("PYTHONPATH") else ""),
+        }
+        completed = subprocess.run(
+            [sys.executable, "-m", "repro", "list"],
+            capture_output=True,
+            text=True,
+            env=environment,
+            timeout=300,
+        )
+        assert completed.returncode == 0, completed.stderr
+        assert "resolved backends" in completed.stdout
+        assert "-> array" in completed.stdout
+        assert "-> aggregate" in completed.stdout
+
     def test_python_m_repro_run_figure2(self, tmp_path):
         environment = {
             **os.environ,

@@ -71,6 +71,28 @@ def test_study_api_is_exported():
         assert name in repro.experiments.__all__
 
 
+def test_backend_registry_is_exported():
+    import repro.core
+
+    for name in (
+        "Backend",
+        "BackendCapability",
+        "register_backend",
+        "get_backend",
+        "resolve_backend",
+        "backend_names",
+        "engine_choices",
+        "capability_matrix",
+        "ProbeClassTable",
+    ):
+        assert name in repro.core.__all__
+        assert hasattr(repro.core, name)
+    assert repro.core.backend_names() == ("reference", "array", "aggregate")
+    assert repro.core.engine_choices()[-1] == "auto"
+    # The Cai baseline is reachable under both spellings.
+    assert repro.baselines.CaiStyleRanking is repro.baselines.CaiRanking
+
+
 class TestDeprecatedDriverShims:
     """The legacy ``run_*`` entry points stay callable with their original
     signatures, warn about their deprecation, and return the legacy result
