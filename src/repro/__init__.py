@@ -53,10 +53,17 @@ from .protocols.ranking import (
     StableRanking,
 )
 from .protocols.reset import PropagateReset, PropagateResetProtocol
+from .scenarios import (
+    Scenario,
+    ScheduledEvent,
+    get_scenario,
+    register_scenario,
+    scenario_names,
+)
 from .experiments.store import ResultStore
 from .experiments.study import ExperimentSpec, ResultSet, RunRow, Study
 
-__version__ = "1.2.0"
+__version__ = "1.3.0"
 
 __all__ = [
     "AgentState",
@@ -81,6 +88,8 @@ __all__ = [
     "ResultStore",
     "Role",
     "RunRow",
+    "Scenario",
+    "ScheduledEvent",
     "SimulationResult",
     "Simulator",
     "SpaceEfficientRanking",
@@ -89,8 +98,11 @@ __all__ = [
     "Study",
     "TransitionResult",
     "classify_role",
+    "get_scenario",
     "make_rng",
     "make_simulator",
+    "register_scenario",
+    "scenario_names",
     "standard_ranking_probes",
     "__version__",
 ]

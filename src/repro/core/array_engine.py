@@ -112,7 +112,7 @@ from .probe_table import ProbeClassTable
 from .protocol import PopulationProtocol
 from .rng import RandomState
 from .scheduler import UniformPairScheduler
-from .simulation import SimulationResult, Simulator
+from .simulation import SimulationResult, Simulator, segmented_run
 from .soa import ColumnStore, VectorizedKernel
 
 __all__ = ["ArraySimulator", "EngineCache", "make_simulator", "ENGINE_NAMES"]
@@ -506,6 +506,7 @@ class ArraySimulator:
         self._codes_np: Optional[np.ndarray] = None
         self._kernel = None
         self._cache = cache if cache is not None else EngineCache()
+        self._max_dense_states = max_dense_states
         self._mode = self._select_mode(engine_mode, max_dense_states)
 
         # Protocol-provided struct-of-arrays kernel (table paths only).
@@ -623,6 +624,99 @@ class ArraySimulator:
         self._cache.mode = "object"
         if remaining_pairs:
             self._apply_pairs_object(remaining_pairs)
+
+    # ------------------------------------------------------------------
+    # Perturbation events
+    # ------------------------------------------------------------------
+    def apply_perturbation(self, mutate) -> Optional[dict]:
+        """Apply an external state mutation via a codec round-trip.
+
+        The engine decodes the live codes into real state objects, hands
+        the configuration to ``mutate`` (which must *replace* states, not
+        mutate them in place — see :mod:`repro.scenarios.events`), then
+        re-encodes the perturbed population and re-enters the warm table
+        path.  New states the perturbation introduced are interned on the
+        fly; in dense mode the complete tables are recompiled over the
+        widened space (degrading to the lazy kernel if the closure
+        outgrows the dense budget).  The pair buffer is untouched, so the
+        scheduler stream — and with it same-seed reference equality —
+        survives the boundary.
+        """
+        if self._mode == "object":
+            summary = mutate(self._configuration)
+            self._changed_since_check = True
+            return summary
+        self._sync_configuration()
+        summary = mutate(self._configuration)
+        self._changed_since_check = True
+        try:
+            codes = self._codec.encode_many(self._configuration.states)
+        except CodecError:
+            # States the codec cannot key (exotic types injected by a
+            # custom event) still simulate exactly on the object path.
+            self._leave_table_modes()
+            return summary
+        self._codes_np = codes
+        self._code_list = codes.tolist()
+        self._refresh_tables_after_perturbation()
+        return summary
+
+    def _leave_table_modes(self) -> None:
+        """Drop to the object path when the *configuration* already holds
+        the truth (unlike :meth:`_demote_to_object`, no code sync)."""
+        self._mode = "object"
+        self._kernel = None
+        self._soa = None
+        self._soa_columns = None
+        self._codec = None
+        self._code_list = None
+        self._codes_np = None
+        self._cache.mode = "object"
+
+    def _refresh_tables_after_perturbation(self) -> None:
+        """Re-enter the table paths after the codec may have widened."""
+        codec = self._codec
+        if codec.size > _MAX_CODES:
+            self._leave_table_modes()
+            return
+        if self._mode != "dense":
+            # The lazy kernel tabulates novel pairs on demand and its
+            # probe table grows with the codec; nothing to refresh.
+            return
+        tables = self._cache.dense_tables
+        if tables is not None and tables.size >= codec.size:
+            return
+        try:
+            self._cache.dense_tables = compile_dense_tables(
+                self._protocol, codec, list(range(codec.size)),
+                max_states=self._max_dense_states,
+            )
+        except StateSpaceTooLarge:
+            self._mode = "lazy"
+            self._cache.mode = "lazy"
+            self._kernel = _LazyKernel(self._protocol, codec, self._cache)
+            return
+        except RandomnessConsumed:
+            self._leave_table_modes()
+            return
+        self._kernel = _DenseKernel(self._cache.dense_tables)
+
+    def run_segmented(
+        self,
+        events,
+        max_interactions: int,
+        stop_on_convergence: bool = True,
+    ) -> SimulationResult:
+        """Run with perturbation events, mirroring ``Simulator.run_segmented``.
+
+        With matched seeds, chunk size and ``convergence_interval`` the
+        trajectory — including the per-event recovery log — is
+        bit-identical to the reference simulator's through every event
+        boundary.
+        """
+        return segmented_run(
+            self, events, max_interactions, stop_on_convergence
+        )
 
     # ------------------------------------------------------------------
     # Introspection

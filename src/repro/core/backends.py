@@ -81,6 +81,10 @@ class BackendCapability:
         unsupported.
     supports_series:
         Whether the backend can record metric time series.
+    supports_events:
+        Whether the backend can apply agent-level mid-run perturbation
+        events (:mod:`repro.scenarios`) — requires real per-agent state
+        the event appliers can rewrite between segments.
     throughput_hint:
         Expected throughput relative to the reference simulator (1.0);
         the ``auto`` resolver maximizes this among supported backends.
@@ -92,6 +96,7 @@ class BackendCapability:
     supported: bool
     exactness: str = ""
     supports_series: bool = True
+    supports_events: bool = True
     throughput_hint: float = 0.0
     reason: str = ""
 
@@ -115,6 +120,7 @@ class Backend(abc.ABC):
         n: int,
         *,
         series: bool = False,
+        events: bool = False,
         stop_on_convergence: bool = True,
     ) -> BackendCapability:
         """Probe whether (and how well) this backend can run one cell.
@@ -123,7 +129,8 @@ class Backend(abc.ABC):
         like :meth:`~repro.core.protocol.PopulationProtocol
         .consumes_randomness` are available), ``workload`` the
         initial-configuration family name, ``series`` whether the cell
-        records metric time series.
+        records metric time series, ``events`` whether the cell's
+        scenario fires mid-run perturbation events.
         """
 
     def create(self, protocol: PopulationProtocol, *, cache=None, **kwargs):
@@ -146,7 +153,7 @@ class ReferenceBackend(Backend):
     name = "reference"
 
     def capabilities(self, protocol, workload, n, *, series=False,
-                     stop_on_convergence=True):
+                     events=False, stop_on_convergence=True):
         return BackendCapability(
             supported=True,
             exactness="trajectory",
@@ -181,7 +188,7 @@ class ArrayBackend(Backend):
     HINT_OBJECT_FALLBACK = 0.8
 
     def capabilities(self, protocol, workload, n, *, series=False,
-                     stop_on_convergence=True):
+                     events=False, stop_on_convergence=True):
         from .array_engine import _MAX_RANK
 
         declared = protocol.consumes_randomness()
@@ -240,7 +247,17 @@ class AggregateBackend(Backend):
     SUPPORTED_WORKLOADS = ("figure3",)
 
     def capabilities(self, protocol, workload, n, *, series=False,
-                     stop_on_convergence=True):
+                     events=False, stop_on_convergence=True):
+        if events:
+            return BackendCapability(
+                supported=False,
+                supports_series=False,
+                supports_events=False,
+                reason=(
+                    "the aggregate engine evolves group counts, not "
+                    "agents; agent-level mid-run events cannot be applied"
+                ),
+            )
         if protocol.name not in self.SUPPORTED_PROTOCOLS:
             return BackendCapability(
                 supported=False,
@@ -265,6 +282,7 @@ class AggregateBackend(Backend):
             supported=True,
             exactness="distribution",
             supports_series=False,
+            supports_events=False,
             throughput_hint=200.0,
         )
 
@@ -319,6 +337,7 @@ def resolve_backend(
     *,
     engine: str = AUTO_ENGINE,
     series: bool = False,
+    events: bool = False,
     stop_on_convergence: bool = True,
     kinds: Optional[Sequence[str]] = None,
 ) -> Tuple[Backend, BackendCapability]:
@@ -338,7 +357,7 @@ def resolve_backend(
                 f"this context (expected kind in {tuple(kinds)})"
             )
         capability = backend.capabilities(
-            protocol, workload, n, series=series,
+            protocol, workload, n, series=series, events=events,
             stop_on_convergence=stop_on_convergence,
         )
         if not capability.supported:
@@ -354,7 +373,7 @@ def resolve_backend(
         if kinds is not None and backend.kind not in kinds:
             continue
         capability = backend.capabilities(
-            protocol, workload, n, series=series,
+            protocol, workload, n, series=series, events=events,
             stop_on_convergence=stop_on_convergence,
         )
         if not capability.supported:
@@ -375,10 +394,13 @@ def capability_matrix(
     n: int,
     *,
     series: bool = False,
+    events: bool = False,
 ) -> Dict[str, BackendCapability]:
     """Every backend's capability answer for one cell (diagnostics/CLI)."""
     return {
-        name: backend.capabilities(protocol, workload, n, series=series)
+        name: backend.capabilities(
+            protocol, workload, n, series=series, events=events
+        )
         for name, backend in _REGISTRY.items()
     }
 

@@ -25,7 +25,104 @@ from .protocol import PopulationProtocol, TransitionResult
 from .rng import RandomState
 from .scheduler import UniformPairScheduler
 
-__all__ = ["Simulator", "SimulationResult"]
+__all__ = ["Simulator", "SimulationResult", "segmented_run"]
+
+
+def segmented_run(
+    simulator,
+    events,
+    max_interactions: int,
+    stop_on_convergence: bool = True,
+) -> SimulationResult:
+    """Run a simulator with perturbation events applied between segments.
+
+    ``events`` is a sequence of objects exposing ``at`` (interaction
+    count, relative to the current position of the simulator), ``label``
+    and ``mutate(configuration) -> summary`` — typically
+    :class:`~repro.scenarios.events.BoundEvent` instances from
+    :func:`~repro.scenarios.events.bind_schedule`.  The simulator runs to
+    each event's interaction count exactly, applies the perturbation
+    through its :meth:`~Simulator.apply_perturbation` hook (the array
+    engine round-trips through its codec there), and continues on the
+    *same* pair stream — events draw from their own generators, so the
+    scheduler's sequence is untouched and a same-seed run is bit-identical
+    across engines through every boundary.
+
+    Per segment (the stretch from one event to the next) the run watches
+    for *recovery*: the first interaction, on the simulator's convergence
+    cadence, at which the protocol's convergence predicate holds again.
+    The per-segment log is returned in :attr:`SimulationResult.events`.
+    ``stop_on_convergence`` applies only after the last event fires —
+    earlier segments always run their full length so later events fire at
+    their specified times.  Events beyond the interaction budget do not
+    fire.
+
+    This function is engine-agnostic; ``Simulator.run_segmented`` and
+    ``ArraySimulator.run_segmented`` are thin delegating methods.
+    """
+    if max_interactions < 0:
+        raise ValueError("max_interactions must be non-negative")
+    start = simulator.interactions
+    budget_end = start + max_interactions
+    log = [{"at": start, "label": "initial", "recovered_at": None}]
+    watch = log[0]
+
+    def advance_to(target: int) -> None:
+        """Run to ``target`` exactly, recording the segment's recovery."""
+        while simulator.interactions < target:
+            if watch["recovered_at"] is not None:
+                simulator.run(
+                    target - simulator.interactions, stop_on_convergence=False
+                )
+                return
+            segment = simulator.run(
+                target - simulator.interactions, stop_on_convergence=True
+            )
+            if segment.converged:
+                watch["recovered_at"] = simulator.interactions
+
+    for event in sorted(events, key=lambda event: event.at):
+        fire_at = start + event.at
+        if fire_at > budget_end:
+            break
+        advance_to(fire_at)
+        summary = simulator.apply_perturbation(event.mutate) or {}
+        watch = {
+            "at": simulator.interactions,
+            "label": getattr(event, "label", "event"),
+            "recovered_at": None,
+        }
+        # The applier's summary must not shadow the segment-log fields —
+        # a custom event returning e.g. an "at" of its own would silently
+        # corrupt the recovery accounting.
+        watch.update(
+            (key, value) for key, value in summary.items()
+            if key not in ("at", "label", "recovered_at")
+        )
+        log.append(watch)
+
+    if stop_on_convergence:
+        # After the last event the run stops at the segment's recovery
+        # (or exhausts the budget), exactly like a plain run() stops at
+        # its first converged check.
+        while (
+            simulator.interactions < budget_end
+            and watch["recovered_at"] is None
+        ):
+            segment = simulator.run(
+                budget_end - simulator.interactions, stop_on_convergence=True
+            )
+            if segment.converged:
+                watch["recovered_at"] = simulator.interactions
+    else:
+        advance_to(budget_end)
+
+    # A zero-length run snapshots the final state through the simulator's
+    # own result construction (final convergence check, closing metrics
+    # snapshot) without advancing the pair stream.
+    result = simulator.run(0, stop_on_convergence=False)
+    result.events = log
+    return result
 
 
 @dataclass
@@ -48,6 +145,14 @@ class SimulationResult:
         Number of interactions that triggered a reset.
     protocol:
         Metadata dictionary from ``protocol.describe()``.
+    events:
+        Segment log of a :func:`segmented_run`: one entry per watch
+        segment (the initial segment plus one per fired perturbation),
+        each recording ``at`` (the interaction the segment started at),
+        ``label`` (``"initial"`` or the event kind), ``recovered_at``
+        (first interaction at which the convergence predicate held after
+        the segment started, or ``None``) and the event applier's summary
+        fields.  Empty for plain runs.
     """
 
     converged: bool
@@ -57,6 +162,7 @@ class SimulationResult:
     rank_assignments: int = 0
     resets: int = 0
     protocol: Dict[str, object] = field(default_factory=dict)
+    events: list = field(default_factory=list)
 
     @property
     def normalized_interactions(self) -> float:
@@ -245,6 +351,36 @@ class Simulator:
                 return
             break
         self._metrics.record(self._interactions, self._configuration)
+
+    # ------------------------------------------------------------------
+    # Perturbation events
+    # ------------------------------------------------------------------
+    def apply_perturbation(self, mutate: Callable[[Configuration], Optional[dict]]):
+        """Apply an external state mutation between interactions.
+
+        ``mutate`` receives the live configuration and may replace agent
+        states in place; its return value (an event summary, or ``None``)
+        is passed through.  The scheduler's pair stream is untouched —
+        perturbations must draw any randomness from their own generators
+        (see :mod:`repro.scenarios.events`).
+        """
+        return mutate(self._configuration)
+
+    def run_segmented(
+        self,
+        events,
+        max_interactions: int,
+        stop_on_convergence: bool = True,
+    ) -> SimulationResult:
+        """Run with perturbation events applied at their interaction counts.
+
+        See :func:`segmented_run` for the semantics; the array engine
+        implements the same method, and same-seed runs are bit-identical
+        across the two through every event boundary.
+        """
+        return segmented_run(
+            self, events, max_interactions, stop_on_convergence
+        )
 
     def run_until(
         self,

@@ -26,6 +26,12 @@ from .fault_injection import (
     format_fault_injection,
     run_fault_injection,
 )
+from .fault_storm import (
+    FaultStormResult,
+    fault_storm_result_from_rows,
+    fault_storm_specs,
+    format_fault_storm,
+)
 from .figure2 import (
     Figure2Result,
     figure2_result_from_rows,
@@ -62,6 +68,7 @@ from .study import (
 )
 from .workloads import (
     adversarial_configuration,
+    adversarial_state,
     duplicate_rank_configuration,
     figure2_initial_configuration,
     figure3_initial_configuration,
@@ -76,6 +83,7 @@ __all__ = [
     "ExperimentRunner",
     "ExperimentSpec",
     "FaultInjectionResult",
+    "FaultStormResult",
     "Figure2Result",
     "Figure3Result",
     "PAPER_FRACTIONS",
@@ -89,6 +97,7 @@ __all__ = [
     "SweepResult",
     "WORKLOADS",
     "adversarial_configuration",
+    "adversarial_state",
     "ascii_plot",
     "comparison_result_from_rows",
     "comparison_specs",
@@ -96,6 +105,8 @@ __all__ = [
     "duplicate_rank_configuration",
     "fault_injection_result_from_rows",
     "fault_injection_specs",
+    "fault_storm_result_from_rows",
+    "fault_storm_specs",
     "figure2_initial_configuration",
     "figure2_result_from_rows",
     "figure2_specs",
@@ -104,6 +115,7 @@ __all__ = [
     "figure3_specs",
     "format_comparison",
     "format_fault_injection",
+    "format_fault_storm",
     "format_figure2",
     "format_figure3",
     "format_scaling",

@@ -15,6 +15,8 @@ Examples::
     python -m repro run scaling --n 8 --seeds 2
     python -m repro run comparison --n 16,32 --seeds 5 --workload corrupted
     python -m repro run fault_injection --n 32 --seeds 10 --jobs 4
+    python -m repro run fault_storm --n 32,64 --seeds 5 --jobs 4
+    python -m repro list --scenarios
 
 Re-invoking a finished study is free: every completed ``(variant, n,
 seed)`` cell is loaded from the store (see
@@ -28,8 +30,10 @@ import sys
 from typing import List, Optional, Sequence
 
 from ..core.errors import ExperimentError
+from ..scenarios import get_scenario, scenario_names
 from . import comparison as _comparison
 from . import fault_injection as _fault
+from . import fault_storm as _storm
 from . import figure2 as _figure2
 from . import figure3 as _figure3
 from . import scaling as _scaling
@@ -151,6 +155,28 @@ def _fault_render(result: ResultSet, args) -> str:
     )
 
 
+def _fault_storm_specs(args):
+    return _storm.fault_storm_specs(
+        n_values=_parse_ints(args.n, (32, 64)),
+        repetitions=args.seeds if args.seeds is not None else 3,
+        scenario=args.scenario or "fault_storm",
+        faults=_parse_strs(args.faults, _storm.STORM_FAULTS),
+        events=args.events if args.events is not None else 3,
+        period_factor=(
+            args.period_factor if args.period_factor is not None else 80.0
+        ),
+        max_interactions_factor=args.max_factor,
+        engine=args.engine or "auto",
+        random_state=args.seed,
+    )
+
+
+def _fault_storm_render(result: ResultSet, args) -> str:
+    return _storm.format_fault_storm(
+        _storm.fault_storm_result_from_rows(result)
+    )
+
+
 EXPERIMENTS = {
     "figure2": {
         "help": "Figure 2: ranked agents + average phase vs time (worst case start)",
@@ -177,7 +203,41 @@ EXPERIMENTS = {
         "specs": _fault_specs,
         "render": _fault_render,
     },
+    "fault_storm": {
+        "help": "Recovery under periodic mid-run fault injection (scenario API)",
+        "specs": _fault_storm_specs,
+        "render": _fault_storm_render,
+    },
 }
+
+
+def _scenario_matrix_lines() -> List[str]:
+    """One line per registered scenario: initial condition + schedule shape."""
+    lines = ["", "scenarios (initial condition + event schedule):"]
+    width = max(len(name) for name in scenario_names())
+    for name in scenario_names():
+        scenario = get_scenario(name)
+        if scenario.is_static:
+            shape = "static (no events)"
+        else:
+            # A custom scenario whose schedule has no runnable defaults
+            # must not break the whole listing.
+            try:
+                schedule = scenario.schedule(64)
+            except (ExperimentError, TypeError) as error:
+                lines.append(f"  {name:<{width}}  unavailable ({error})")
+                continue
+            kinds = sorted({event.kind for event in schedule})
+            shape = (
+                f"{len(schedule)} x {'/'.join(kinds)} "
+                f"(default schedule at n=64)"
+            )
+        lines.append(
+            f"  {name:<{width}}  workload={scenario.workload:<14} {shape}"
+        )
+        if scenario.description:
+            lines.append(f"  {'':<{width}}  {scenario.description}")
+    return lines
 
 
 def _capability_matrix_lines(parser: argparse.ArgumentParser) -> List[str]:
@@ -222,7 +282,13 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     commands = parser.add_subparsers(dest="command")
 
-    commands.add_parser("list", help="list the available experiments")
+    list_parser = commands.add_parser(
+        "list", help="list the available experiments"
+    )
+    list_parser.add_argument(
+        "--scenarios", action="store_true",
+        help="also print the scenario matrix (workload + event schedule)",
+    )
 
     run = commands.add_parser("run", help="run one experiment preset")
     run.add_argument("experiment", choices=sorted(EXPERIMENTS))
@@ -255,7 +321,15 @@ def _build_parser() -> argparse.ArgumentParser:
     run.add_argument("--protocols", default=None,
                      help="comparison: comma-separated protocol names")
     run.add_argument("--faults", default=None,
-                     help="fault_injection: comma-separated fault models")
+                     help="fault_injection/fault_storm: comma-separated "
+                          "fault models / event kinds")
+    run.add_argument("--scenario", default=None,
+                     help="fault_storm: event-bearing scenario to run "
+                          "(see `python -m repro list --scenarios`)")
+    run.add_argument("--events", type=int, default=None,
+                     help="fault_storm: number of scheduled events")
+    run.add_argument("--period-factor", type=float, default=None,
+                     help="fault_storm: event spacing in units of n²")
     run.add_argument("--no-plot", action="store_true",
                      help="figure2: omit the ASCII plots")
     run.add_argument("--quiet", action="store_true",
@@ -273,6 +347,9 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         for name in sorted(EXPERIMENTS):
             print(f"  {name:<{width}}  {EXPERIMENTS[name]['help']}")
         if args.command == "list":
+            if getattr(args, "scenarios", False):
+                for line in _scenario_matrix_lines():
+                    print(line)
             for line in _capability_matrix_lines(parser):
                 print(line)
         if args.command is None:

@@ -60,15 +60,24 @@ class FaultInjectionResult:
         for (fault, n), samples in sorted(
             self.recovery.items(), key=lambda kv: (kv[0][1], kv[0][0])
         ):
-            summary = summarize(samples)
+            # A cell can legitimately be empty (a filtered result set, a
+            # store loaded mid-matrix): report it as 0 runs / 0.0
+            # recovered instead of failing on the empty summary.
+            if samples:
+                summary = summarize(samples)
+                mean = summary.mean
+                runs = summary.count
+            else:
+                mean = 0.0
+                runs = 0
             rows.append(
                 {
                     "fault": fault,
                     "n": n,
-                    "mean_recovery_interactions": summary.mean,
-                    "mean_over_n2": summary.mean / (n * n),
-                    "recovered_fraction": self.convergence[(fault, n)],
-                    "runs": summary.count,
+                    "mean_recovery_interactions": mean,
+                    "mean_over_n2": mean / (n * n),
+                    "recovered_fraction": self.convergence.get((fault, n), 0.0),
+                    "runs": runs,
                 }
             )
         return rows
@@ -110,7 +119,14 @@ def fault_injection_specs(
 
 
 def fault_injection_result_from_rows(result: ResultSet) -> FaultInjectionResult:
-    """Convert a study result set into the legacy :class:`FaultInjectionResult`."""
+    """Convert a study result set into the legacy :class:`FaultInjectionResult`.
+
+    Cells without rows (an empty or partially filtered result set, a
+    store loaded mid-matrix) are kept with an explicit empty sample and a
+    ``recovered_fraction`` of 0.0 rather than raising.
+    """
+    if not result.specs:
+        return FaultInjectionResult(n_values=(), repetitions=0)
     first = result.specs[0]
     out = FaultInjectionResult(
         n_values=tuple(first.n_values), repetitions=first.seeds

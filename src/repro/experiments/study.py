@@ -60,6 +60,7 @@ from ..protocols.ranking.aggregate_space_efficient import (
 )
 from ..protocols.ranking.space_efficient import SpaceEfficientRanking
 from ..protocols.ranking.stable_ranking import StableRanking
+from ..scenarios import bind_schedule, get_scenario
 from .store import ResultStore
 from . import workloads as _workloads
 
@@ -147,6 +148,18 @@ EXTRACTORS: Dict[str, Callable] = {
 
 
 
+#: Trajectory-relevant revisions of workload builders.  Bump a workload's
+#: entry (starting at 2; absent means the original draw pattern) whenever
+#: its generator consumption changes: the revision joins the spec
+#: identity, so same-seed cells produced by different builder versions
+#: can never share a store directory.  ``duplicate_rank`` moved from
+#: order-dependent choice+integers draws to a disjoint victim/donor
+#: permutation (exact fault counts) in v1.3.
+_WORKLOAD_REVISIONS: Dict[str, int] = {
+    "duplicate_rank": 2,
+}
+
+
 #: Per-process memo of spec matrices whose explicit-engine capability
 #: validation already ran (keyed by identity seed + matrix n_values), so
 #: worker-side ``from_dict`` calls pay the resolution pass once per spec
@@ -188,6 +201,21 @@ class ExperimentSpec:
         it.  Rows record the *resolved* backend name.
     workload:
         Key into :data:`WORKLOADS` — the initial-configuration family.
+        When ``scenario`` is set this is the scenario's *initial
+        condition*: leaving it at the default ``"fresh"`` adopts the
+        scenario's declared workload, any other value overrides it
+        (composition: e.g. a fault storm on the Figure 2 start).
+    scenario:
+        Optional name from the scenario registry
+        (:mod:`repro.scenarios`).  A *static* scenario normalizes to its
+        ``workload=`` alias (same identity hash, same store, same
+        trajectory); an event-bearing scenario fires its deterministic
+        perturbation schedule mid-run through the engines' segmented
+        runs.  ``None`` (the default) keeps the plain workload path and
+        the exact legacy spec identity.
+    scenario_params:
+        Keyword arguments for the scenario's schedule builder (event
+        kind, count, period, …).
     protocol_params, workload_params:
         Keyword arguments for the two factories.
     max_interactions_factor:
@@ -215,6 +243,8 @@ class ExperimentSpec:
     seeds: int = 1
     engine: str = "auto"
     workload: str = "fresh"
+    scenario: Optional[str] = None
+    scenario_params: Mapping[str, object] = field(default_factory=dict)
     protocol_params: Mapping[str, object] = field(default_factory=dict)
     workload_params: Mapping[str, object] = field(default_factory=dict)
     max_interactions_factor: float = 400.0
@@ -234,6 +264,9 @@ class ExperimentSpec:
         object.__setattr__(self, "extractors", tuple(self.extractors))
         object.__setattr__(self, "protocol_params", dict(self.protocol_params))
         object.__setattr__(self, "workload_params", dict(self.workload_params))
+        object.__setattr__(self, "scenario_params", dict(self.scenario_params))
+        if self.scenario is not None:
+            self._normalize_scenario()
         if self.engine not in _backends.engine_choices():
             raise ExperimentError(
                 f"unknown engine {self.engine!r}; expected one of "
@@ -267,9 +300,44 @@ class ExperimentSpec:
                     self.resolve_backend(n)
                 _VALIDATED_MATRICES.add(memo_key)
 
+    def _normalize_scenario(self) -> None:
+        """Resolve the scenario name and fold static scenarios onto workloads.
+
+        A static scenario is *identical* to its ``workload=`` alias, so it
+        is normalized onto it — the spec's identity hash (and therefore
+        its store directory and every cell trajectory) is shared between
+        the two spellings, and pre-scenario stores keep resolving.  An
+        event-bearing scenario keeps its ``scenario`` field, adopts the
+        scenario's initial condition unless the spec overrides it, and
+        has its schedule validated for every ``n`` of the matrix.
+        """
+        scenario = get_scenario(self.scenario)
+        if self.workload == "fresh":
+            object.__setattr__(self, "workload", scenario.workload)
+        if scenario.is_static:
+            if self.scenario_params:
+                raise ExperimentError(
+                    f"static scenario {scenario.name!r} accepts no "
+                    f"scenario_params; use workload_params instead"
+                )
+            object.__setattr__(self, "scenario", None)
+            return
+        if self.milestone_fractions:
+            raise ExperimentError(
+                "event-bearing scenarios do not support milestone "
+                "fractions; per-event recovery times are recorded instead"
+            )
+        for n in self.n_values:
+            scenario.schedule(n, **self.scenario_params)
+
     def as_dict(self) -> dict:
-        """The full spec as JSON-ready data (matrix extent included)."""
-        return {
+        """The full spec as JSON-ready data (matrix extent included).
+
+        The ``scenario`` keys appear only for event-bearing scenarios, so
+        legacy (workload-only) specs serialize — and hash — exactly as
+        they did before scenarios existed.
+        """
+        payload = {
             "variant": self.variant,
             "protocol": self.protocol,
             "n_values": list(self.n_values),
@@ -285,6 +353,10 @@ class ExperimentSpec:
             "extractors": list(self.extractors),
             "random_state": self.random_state,
         }
+        if self.scenario is not None:
+            payload["scenario"] = self.scenario
+            payload["scenario_params"] = dict(self.scenario_params)
+        return payload
 
     @classmethod
     def from_dict(cls, payload: Mapping) -> "ExperimentSpec":
@@ -296,11 +368,21 @@ class ExperimentSpec:
 
         Excludes the matrix extent (``n_values``, ``seeds``): a cell's
         result depends only on its own coordinates, so extending the
-        matrix must not re-key the study's store.
+        matrix must not re-key the study's store.  Includes the workload
+        builder's revision when one is recorded in
+        :data:`_WORKLOAD_REVISIONS`: a builder whose rng draw pattern
+        changed produces different trajectories from the same seeds, and
+        the store contract ("changing anything trajectory-relevant
+        re-keys the directory") must hold for builder fixes too —
+        otherwise resuming a pre-fix store would silently mix rows from
+        two different seeded configurations under one identity.
         """
         payload = self.as_dict()
         del payload["n_values"]
         del payload["seeds"]
+        revision = _WORKLOAD_REVISIONS.get(self.workload)
+        if revision is not None:
+            payload["workload_revision"] = revision
         return payload
 
     def identity_seed(self) -> int:
@@ -315,6 +397,21 @@ class ExperimentSpec:
     def build_protocol(self, n: int):
         """Construct the protocol instance for one population size."""
         return PROTOCOLS[self.protocol](n, **self.protocol_params)
+
+    def build_schedule(self, n: int):
+        """The scenario's event schedule for one population size.
+
+        Empty for workload-only specs (static scenarios normalize to
+        those); a pure function of the spec and ``n``, so serial and
+        parallel runs — and the backend resolution below — agree on it.
+        """
+        if self.scenario is None:
+            return ()
+        return get_scenario(self.scenario).schedule(n, **self.scenario_params)
+
+    def has_events(self, n: int) -> bool:
+        """Whether this spec's cells at ``n`` fire mid-run events."""
+        return bool(self.build_schedule(n))
 
     def resolve(self, n: int):
         """The ``(backend, capability)`` pair serving this spec's ``n`` cells.
@@ -333,6 +430,7 @@ class ExperimentSpec:
             n,
             engine=self.engine,
             series=self.samples > 0,
+            events=self.has_events(n),
             stop_on_convergence=self.stop_on_convergence,
         )
 
@@ -545,17 +643,20 @@ _ENGINE_CACHES: Dict[tuple, EngineCache] = {}
 
 
 def _cell_rng_sequences(spec: ExperimentSpec, n: int, seed_index: int):
-    """Two independent seed sequences (workload, run) for one cell.
+    """Three independent seed sequences (workload, run, events) per cell.
 
     Derived from the spec identity and the cell coordinates through
     :class:`numpy.random.SeedSequence` — deterministic and process-stable
     (unlike ``hash()``), which is what makes ``--jobs N`` bit-identical to
-    a serial run.
+    a serial run.  Spawn children are determined by their index, so the
+    workload and run streams are unchanged from the pre-scenario layout
+    and legacy cells keep their exact trajectories; the third (event)
+    sequence is consumed only by event-bearing scenarios.
     """
     base = np.random.SeedSequence(
         [spec.identity_seed(), int(n), int(seed_index)]
     )
-    return base.spawn(2)
+    return base.spawn(3)
 
 
 def execute_cell(spec_payload: Mapping, n: int, seed_index: int) -> dict:
@@ -567,7 +668,7 @@ def execute_cell(spec_payload: Mapping, n: int, seed_index: int) -> dict:
     actually served each cell.
     """
     spec = ExperimentSpec.from_dict(dict(spec_payload))
-    workload_seq, run_seq = _cell_rng_sequences(spec, n, seed_index)
+    workload_seq, run_seq, events_seq = _cell_rng_sequences(spec, n, seed_index)
     protocol = spec.build_protocol(n)
     backend, _capability = _backends.resolve_backend(
         protocol,
@@ -575,12 +676,14 @@ def execute_cell(spec_payload: Mapping, n: int, seed_index: int) -> dict:
         n,
         engine=spec.engine,
         series=spec.samples > 0,
+        events=spec.has_events(n),
         stop_on_convergence=spec.stop_on_convergence,
     )
     if backend.kind == "aggregate":
         return _execute_aggregate(spec, n, seed_index, run_seq, backend)
     return _execute_agent_level(
-        spec, protocol, n, seed_index, workload_seq, run_seq, backend
+        spec, protocol, n, seed_index, workload_seq, run_seq, events_seq,
+        backend,
     )
 
 
@@ -610,7 +713,7 @@ def _execute_aggregate(spec, n, seed_index, run_seq, backend) -> dict:
 
 
 def _execute_agent_level(
-    spec, protocol, n, seed_index, workload_seq, run_seq, backend
+    spec, protocol, n, seed_index, workload_seq, run_seq, events_seq, backend
 ) -> dict:
     configuration = WORKLOADS[spec.workload](
         protocol, np.random.default_rng(workload_seq), **spec.workload_params
@@ -644,7 +747,37 @@ def _execute_agent_level(
     )
 
     milestones: Dict[str, int] = {}
-    if spec.milestone_fractions:
+    extras: Dict[str, float] = {}
+    schedule = spec.build_schedule(n)
+    if schedule:
+        bound = bind_schedule(schedule, protocol, events_seq)
+        result = simulator.run_segmented(
+            bound,
+            max_interactions=budget,
+            stop_on_convergence=spec.stop_on_convergence,
+        )
+        row_converged = result.converged
+        interactions = result.interactions
+        resets = result.resets
+        # Per-segment accounting: the initial ramp-up convergence and
+        # each event's recovery become milestones; aggregate recovery
+        # statistics become extras (floats, so they survive CSV export).
+        initial = result.events[0]
+        if initial["recovered_at"] is not None:
+            milestones["converged_initial"] = int(initial["recovered_at"])
+        recoveries = []
+        fired = result.events[1:]
+        for index, entry in enumerate(fired, start=1):
+            if entry["recovered_at"] is not None:
+                milestones[f"event{index}_recovered"] = int(
+                    entry["recovered_at"]
+                )
+                recoveries.append(entry["recovered_at"] - entry["at"])
+        extras["events_fired"] = float(len(fired))
+        extras["events_recovered"] = float(len(recoveries))
+        if recoveries:
+            extras["mean_recovery_interactions"] = float(np.mean(recoveries))
+    elif spec.milestone_fractions:
         converged = True
         result = None
         for fraction in spec.milestone_fractions:
@@ -671,7 +804,6 @@ def _execute_agent_level(
         interactions = result.interactions
         resets = result.resets
 
-    extras: Dict[str, float] = {}
     for name in spec.extractors:
         extras.update(EXTRACTORS[name](result, simulator))
 

@@ -38,6 +38,7 @@ __all__ = [
     "duplicate_rank_configuration",
     "missing_rank_configuration",
     "adversarial_configuration",
+    "adversarial_state",
 ]
 
 
@@ -91,24 +92,29 @@ def valid_ranking_configuration(n: int) -> Configuration[AgentState]:
 def duplicate_rank_configuration(
     n: int, duplicates: int = 1, random_state: RandomState = None
 ) -> Configuration[AgentState]:
-    """A ranking with ``duplicates`` collisions injected (transient fault).
+    """A ranking with exactly ``duplicates`` collisions injected.
 
-    ``duplicates`` agents have their rank overwritten with some other agent's
-    rank, so the configuration has duplicate ranks and the same number of
-    missing ranks.
+    ``duplicates`` agents (the victims) have their rank overwritten with
+    another agent's rank.  Victims and donors are disjoint prefixes of one
+    permutation and donor ranks are read from the *original* (pre-fault)
+    ranking, so no donor can itself be an overwritten victim: the injected
+    fault count is exact and order-independent — the configuration has
+    exactly ``duplicates`` duplicated ranks and the same number of missing
+    ranks.  Exactness requires ``2 · duplicates ≤ n`` (each duplicated
+    rank needs a distinct, untouched donor).
     """
-    if duplicates < 1 or duplicates >= n:
+    if duplicates < 1 or 2 * duplicates > n:
         raise ConfigurationError(
-            f"duplicates must be in [1, n-1], got {duplicates} for n={n}"
+            f"duplicates must be in [1, n // 2], got {duplicates} for n={n}"
         )
     rng = make_rng(random_state)
     configuration = valid_ranking_configuration(n)
-    victims = rng.choice(n, size=duplicates, replace=False)
-    for victim in victims:
-        donor = int(rng.integers(0, n))
-        while donor == victim:
-            donor = int(rng.integers(0, n))
-        configuration[int(victim)].rank = configuration[donor].rank
+    selection = rng.permutation(n)
+    victims = selection[:duplicates]
+    donors = selection[duplicates:2 * duplicates]
+    for victim, donor in zip(victims, donors):
+        # Agent i holds rank i + 1 in the pre-fault ranking.
+        configuration[int(victim)].rank = int(donor) + 1
     return configuration
 
 
@@ -133,67 +139,72 @@ def missing_rank_configuration(
     return Configuration(states)
 
 
+def adversarial_state(
+    protocol: StableRanking, rng: np.random.Generator
+) -> AgentState:
+    """One uniformly-ish random state over ``StableRanking``'s state space.
+
+    The per-agent building block of :func:`adversarial_configuration`,
+    also used by the ``scramble`` perturbation event
+    (:mod:`repro.scenarios.events`) to randomize agents mid-run.  The
+    agent becomes a ranked agent (random rank, collisions allowed), a
+    phase agent, a waiting agent, a leader-electing agent, a propagating
+    agent or a dormant agent, with random counter values within the
+    protocol's bounds.
+    """
+    n = protocol.n
+    kind = rng.choice(
+        ["ranked", "phase", "waiting", "leader_electing", "propagating", "dormant"]
+    )
+    coin = int(rng.integers(0, 2))
+    if kind == "ranked":
+        return AgentState(rank=int(rng.integers(1, n + 1)))
+    if kind == "phase":
+        return AgentState(
+            phase=int(rng.integers(1, protocol.schedule.phase_count + 1)),
+            coin=coin,
+            alive_count=int(rng.integers(1, protocol.l_max + 1)),
+        )
+    if kind == "waiting":
+        return AgentState(
+            wait_count=int(rng.integers(1, protocol.wait_init + 1)),
+            coin=coin,
+            alive_count=int(rng.integers(1, protocol.l_max + 1)),
+        )
+    if kind == "leader_electing":
+        agent = AgentState(coin=coin)
+        protocol.leader_election.init_state(agent)
+        agent.le_count = int(rng.integers(1, protocol.leader_election.l_max + 1))
+        agent.coin_count = int(
+            rng.integers(0, protocol.leader_election.coin_count_init + 1)
+        )
+        agent.leader_done = int(rng.integers(0, 2))
+        agent.is_leader = int(rng.integers(0, 2))
+        return agent
+    if kind == "propagating":
+        return AgentState(
+            coin=coin,
+            reset_count=int(rng.integers(1, protocol.reset.r_max + 1)),
+            delay_count=int(rng.integers(1, protocol.reset.d_max + 1)),
+        )
+    # dormant
+    return AgentState(
+        coin=coin,
+        reset_count=0,
+        delay_count=int(rng.integers(1, protocol.reset.d_max + 1)),
+    )
+
+
 def adversarial_configuration(
     protocol: StableRanking, random_state: RandomState = None
 ) -> Configuration[AgentState]:
     """A random configuration over ``StableRanking``'s state space.
 
-    Each agent independently becomes a ranked agent (random rank, collisions
-    allowed), a phase agent, a waiting agent, a leader-electing agent, a
-    propagating agent or a dormant agent, with random counter values within
-    the protocol's bounds.  This is the kind of arbitrary configuration the
-    self-stabilization guarantee (Theorem 2) quantifies over.
+    Every agent is drawn independently by :func:`adversarial_state`.  This
+    is the kind of arbitrary configuration the self-stabilization
+    guarantee (Theorem 2) quantifies over.
     """
     rng = make_rng(random_state)
-    n = protocol.n
-    states = []
-    for _ in range(n):
-        kind = rng.choice(
-            ["ranked", "phase", "waiting", "leader_electing", "propagating", "dormant"]
-        )
-        coin = int(rng.integers(0, 2))
-        if kind == "ranked":
-            states.append(AgentState(rank=int(rng.integers(1, n + 1))))
-        elif kind == "phase":
-            states.append(
-                AgentState(
-                    phase=int(rng.integers(1, protocol.schedule.phase_count + 1)),
-                    coin=coin,
-                    alive_count=int(rng.integers(1, protocol.l_max + 1)),
-                )
-            )
-        elif kind == "waiting":
-            states.append(
-                AgentState(
-                    wait_count=int(rng.integers(1, protocol.wait_init + 1)),
-                    coin=coin,
-                    alive_count=int(rng.integers(1, protocol.l_max + 1)),
-                )
-            )
-        elif kind == "leader_electing":
-            agent = AgentState(coin=coin)
-            protocol.leader_election.init_state(agent)
-            agent.le_count = int(rng.integers(1, protocol.leader_election.l_max + 1))
-            agent.coin_count = int(
-                rng.integers(0, protocol.leader_election.coin_count_init + 1)
-            )
-            agent.leader_done = int(rng.integers(0, 2))
-            agent.is_leader = int(rng.integers(0, 2))
-            states.append(agent)
-        elif kind == "propagating":
-            states.append(
-                AgentState(
-                    coin=coin,
-                    reset_count=int(rng.integers(1, protocol.reset.r_max + 1)),
-                    delay_count=int(rng.integers(1, protocol.reset.d_max + 1)),
-                )
-            )
-        else:  # dormant
-            states.append(
-                AgentState(
-                    coin=coin,
-                    reset_count=0,
-                    delay_count=int(rng.integers(1, protocol.reset.d_max + 1)),
-                )
-            )
-    return Configuration(states)
+    return Configuration(
+        [adversarial_state(protocol, rng) for _ in range(protocol.n)]
+    )

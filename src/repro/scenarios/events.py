@@ -1,0 +1,299 @@
+"""Perturbation events: deterministic mid-run configuration surgery.
+
+The paper's Theorem 2 promises stabilization from *any* configuration,
+which the workload layer (:mod:`repro.experiments.workloads`) can only
+exercise at interaction 0.  Events extend the same fault models to the
+middle of a run: each event *kind* is a pure function that, given the
+protocol, the live configuration and a dedicated generator, rewrites some
+agents' states — rank corruption, duplicate/missing-rank injection,
+crash-and-reset, adversarial re-scramble, population churn.
+
+Determinism contract
+--------------------
+Every event draws exclusively from the generator it is handed (one
+:class:`numpy.random.SeedSequence` child per event, see
+:func:`bind_schedule`) and **never** from the simulation's own stream, so
+firing an event does not shift the scheduler's pair sequence.  Given the
+same configuration and the same seed an event produces the same new
+configuration on every engine — which is what keeps reference↔array runs
+bit-identical through event boundaries.
+
+Replacement, not mutation
+-------------------------
+Event appliers must *replace* agent states (``configuration[i] = state``)
+rather than mutate them in place: on the array engine the decoded
+configuration may alias codec prototypes, and in-place writes would
+corrupt every agent sharing the state.  All built-in kinds follow this
+rule; custom kinds registered via :func:`register_event` must too.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Mapping, Tuple
+
+import numpy as np
+
+from ..core.configuration import Configuration
+from ..core.errors import ExperimentError
+from ..core.state import AgentState
+
+__all__ = [
+    "EVENTS",
+    "BoundEvent",
+    "ScheduledEvent",
+    "bind_schedule",
+    "register_event",
+]
+
+
+def _chosen_agents(rng: np.random.Generator, n: int, count: int) -> np.ndarray:
+    """``count`` distinct agent indices, clipped to the population."""
+    count = max(0, min(int(count), n))
+    if count == 0:
+        return np.empty(0, dtype=np.int64)
+    return rng.choice(n, size=count, replace=False)
+
+
+def _require_agent_states(configuration: Configuration, kind: str) -> None:
+    """Ranking-family events write :class:`AgentState` values.
+
+    A clear error beats the ``AttributeError`` the protocol's next
+    transition would raise after an incompatible state was injected into
+    (say) a baseline protocol's population.
+    """
+    if not isinstance(configuration[0], AgentState):
+        raise ExperimentError(
+            f"event kind {kind!r} writes AgentState values, but this "
+            f"population holds {type(configuration[0]).__name__} states; "
+            "use a protocol-agnostic kind (crash_reset, churn) instead"
+        )
+
+
+def rank_corruption(protocol, configuration: Configuration,
+                    rng: np.random.Generator, count: int = 1) -> dict:
+    """Overwrite ``count`` agents' states with uniformly random ranks.
+
+    The canonical transient memory fault: the corrupted agents believe
+    they hold a rank drawn uniformly from ``{1, …, n}``, collisions with
+    live ranks included.
+    """
+    _require_agent_states(configuration, "rank_corruption")
+    n = configuration.population_size
+    agents = _chosen_agents(rng, n, count)
+    for agent in agents:
+        configuration[int(agent)] = AgentState(
+            rank=int(rng.integers(1, n + 1))
+        )
+    return {"kind": "rank_corruption", "agents": int(len(agents))}
+
+
+def duplicate_rank(protocol, configuration: Configuration,
+                   rng: np.random.Generator, count: int = 1) -> dict:
+    """Copy ``count`` distinct live ranks over other ranked agents.
+
+    Victims and donors are drawn disjointly from the *currently ranked*
+    agents, and donor ranks are read before any overwrite, so exactly
+    ``min(count, ranked // 2)`` ranks end up duplicated (and as many go
+    missing) regardless of draw order.
+    """
+    _require_agent_states(configuration, "duplicate_rank")
+    ranks = configuration.ranks()
+    ranked = np.asarray(
+        [index for index, rank in enumerate(ranks) if rank is not None],
+        dtype=np.int64,
+    )
+    count = max(0, min(int(count), len(ranked) // 2))
+    if count == 0:
+        return {"kind": "duplicate_rank", "agents": 0}
+    selection = rng.permutation(ranked)
+    victims = selection[:count]
+    donors = selection[count:2 * count]
+    for victim, donor in zip(victims, donors):
+        configuration[int(victim)] = AgentState(rank=int(ranks[int(donor)]))
+    return {"kind": "duplicate_rank", "agents": int(count)}
+
+
+def missing_rank(protocol, configuration: Configuration,
+                 rng: np.random.Generator, count: int = 1) -> dict:
+    """Make ``count`` ranked agents forget their rank entirely.
+
+    The dropped agents re-enter as phase agents with a full liveness
+    counter (the mid-run generalization of the ``missing_rank`` workload)
+    when the protocol exposes ``l_max``, and as fresh agents otherwise.
+    """
+    _require_agent_states(configuration, "missing_rank")
+    ranks = configuration.ranks()
+    ranked = np.asarray(
+        [index for index, rank in enumerate(ranks) if rank is not None],
+        dtype=np.int64,
+    )
+    agents = _chosen_agents(rng, len(ranked), count)
+    l_max = getattr(protocol, "l_max", None)
+    for position in agents:
+        agent = int(ranked[int(position)])
+        if l_max is not None:
+            configuration[agent] = AgentState(
+                phase=1, coin=0, alive_count=l_max
+            )
+        else:
+            configuration[agent] = protocol.initial_state()
+    return {"kind": "missing_rank", "agents": int(len(agents))}
+
+
+def crash_reset(protocol, configuration: Configuration,
+                rng: np.random.Generator, count: int = 1) -> dict:
+    """Crash ``count`` agents: their state reverts to the initial state."""
+    agents = _chosen_agents(rng, configuration.population_size, count)
+    for agent in agents:
+        configuration[int(agent)] = protocol.initial_state()
+    return {"kind": "crash_reset", "agents": int(len(agents))}
+
+
+def churn(protocol, configuration: Configuration,
+          rng: np.random.Generator, fraction: float = 0.25) -> dict:
+    """Replace a fraction of the population with freshly joined agents.
+
+    Population protocols have a fixed ``n``, so churn is modelled as
+    simultaneous departure and arrival: each churned slot is taken over
+    by an agent in the protocol's designated initial state.
+    """
+    n = configuration.population_size
+    if not 0.0 < fraction <= 1.0:
+        raise ExperimentError(
+            f"churn fraction must be in (0, 1], got {fraction}"
+        )
+    count = max(1, int(round(fraction * n)))
+    agents = _chosen_agents(rng, n, count)
+    for agent in agents:
+        configuration[int(agent)] = protocol.initial_state()
+    return {"kind": "churn", "agents": int(len(agents))}
+
+
+def scramble(protocol, configuration: Configuration,
+             rng: np.random.Generator, fraction: float = 1.0) -> dict:
+    """Adversarially re-scramble a fraction of the population.
+
+    Each affected agent's state is replaced by a uniformly-ish random
+    state over the protocol's state space
+    (:func:`~repro.experiments.workloads.adversarial_state`) — the
+    arbitrary-configuration perturbation Theorem 2 quantifies over,
+    applied mid-run.
+    """
+    # Imported lazily: repro.experiments imports repro.scenarios at module
+    # level, so the reverse edge must resolve at call time only.
+    from ..experiments.workloads import adversarial_state
+
+    for attribute in ("schedule", "l_max", "wait_init", "leader_election",
+                      "reset"):
+        if not hasattr(protocol, attribute):
+            raise ExperimentError(
+                f"scramble draws over StableRanking's state space and "
+                f"needs protocol.{attribute}; {protocol.name!r} does not "
+                "provide it — use crash_reset or churn instead"
+            )
+    n = configuration.population_size
+    if not 0.0 < fraction <= 1.0:
+        raise ExperimentError(
+            f"scramble fraction must be in (0, 1], got {fraction}"
+        )
+    count = max(1, int(round(fraction * n)))
+    agents = np.sort(_chosen_agents(rng, n, count))
+    for agent in agents:
+        configuration[int(agent)] = adversarial_state(protocol, rng)
+    return {"kind": "scramble", "agents": int(len(agents))}
+
+
+#: Event kinds by name; each is ``fn(protocol, configuration, rng,
+#: **params) -> summary dict``.  Mirrors the registries of
+#: :mod:`repro.core.backends` and :mod:`repro.experiments.study`.
+EVENTS: Dict[str, Callable] = {
+    "rank_corruption": rank_corruption,
+    "duplicate_rank": duplicate_rank,
+    "missing_rank": missing_rank,
+    "crash_reset": crash_reset,
+    "churn": churn,
+    "scramble": scramble,
+}
+
+
+def register_event(name: str, applier: Callable, replace: bool = False) -> Callable:
+    """Add an event kind to the registry (same contract as the built-ins)."""
+    if not replace and name in EVENTS:
+        raise ExperimentError(f"event kind {name!r} is already registered")
+    EVENTS[name] = applier
+    return applier
+
+
+@dataclass(frozen=True)
+class ScheduledEvent:
+    """One perturbation at a specified interaction count.
+
+    ``at`` counts interactions from the start of the (segmented) run;
+    ``kind`` names an entry of :data:`EVENTS`; ``params`` are the
+    applier's keyword arguments (JSON-serializable, since they flow
+    through :class:`~repro.experiments.study.ExperimentSpec` payloads).
+    """
+
+    at: int
+    kind: str
+    params: Mapping[str, object] = field(default_factory=dict)
+
+    def __post_init__(self):
+        object.__setattr__(self, "at", int(self.at))
+        object.__setattr__(self, "params", dict(self.params))
+        if self.at < 0:
+            raise ExperimentError(
+                f"event interaction count must be non-negative, got {self.at}"
+            )
+        if self.kind not in EVENTS:
+            raise ExperimentError(
+                f"unknown event kind {self.kind!r}; expected one of "
+                f"{tuple(EVENTS)}"
+            )
+
+
+@dataclass(frozen=True)
+class BoundEvent:
+    """A scheduled event bound to a protocol and its own generator.
+
+    This is what the simulators' ``run_segmented`` consumes: ``mutate``
+    closes over the protocol, the applier, the parameters and a dedicated
+    per-event generator, and takes only the live configuration.
+    """
+
+    at: int
+    label: str
+    mutate: Callable[[Configuration], dict]
+
+
+def bind_schedule(
+    schedule: Tuple[ScheduledEvent, ...],
+    protocol,
+    entropy: np.random.SeedSequence,
+) -> Tuple[BoundEvent, ...]:
+    """Bind a schedule to a protocol and spawn one generator per event.
+
+    ``entropy`` is the cell's event seed sequence; each event gets its
+    own spawned child (keyed by its position in the time-sorted
+    schedule), so event randomness is independent of the simulation
+    stream and of the other events' streams.  Note the keying is
+    positional: editing the schedule re-seeds the events after the edit
+    point, exactly like changing any other part of the spec identity.
+    """
+    ordered = sorted(schedule, key=lambda event: event.at)
+    children = entropy.spawn(len(ordered)) if ordered else ()
+    bound = []
+    for event, child in zip(ordered, children):
+        applier = EVENTS[event.kind]
+
+        def mutate(configuration, _applier=applier, _event=event, _child=child):
+            return _applier(
+                protocol,
+                configuration,
+                np.random.default_rng(_child),
+                **_event.params,
+            )
+
+        bound.append(BoundEvent(at=event.at, label=event.kind, mutate=mutate))
+    return tuple(bound)

@@ -1,0 +1,249 @@
+"""Scenarios: initial condition + deterministic event schedule, as a registry.
+
+A **scenario** is the composable unit of a workload: an *initial
+condition* (a workload family from
+:mod:`repro.experiments.workloads`, referenced by name) plus an
+*event schedule* — a deterministic sequence of
+:class:`~repro.scenarios.events.ScheduledEvent` perturbations fired at
+specified interaction counts.  The experiment layer's legacy ``workload=``
+strings are back-compat aliases for *static* scenarios (empty schedule);
+event-bearing scenarios are what make mid-run self-stabilization
+(Theorem 2 under repeated perturbation) measurable at all.
+
+The registry mirrors :mod:`repro.core.backends`: scenarios are looked up
+by name (:func:`get_scenario`), user code extends the set with
+:func:`register_scenario`, and — like the backend and workload
+registries — registration must happen at import time of a module that
+worker processes also import, or parallel studies will not see it.
+
+Schedule determinism
+--------------------
+:meth:`Scenario.schedule` is a pure function of ``(n, params)``: event
+*times* are data, never drawn from a generator.  Randomness enters only
+inside the event appliers, each seeded from its own
+:class:`numpy.random.SeedSequence` child (see
+:func:`~repro.scenarios.events.bind_schedule`), which is what makes a
+scenario cell reproducible across engines, processes and resumes.
+"""
+
+from __future__ import annotations
+
+import abc
+import inspect
+from typing import Dict, Tuple
+
+from ..core.errors import ExperimentError
+from .events import EVENTS, ScheduledEvent
+
+__all__ = [
+    "Scenario",
+    "StaticScenario",
+    "FaultStormScenario",
+    "ChurnScenario",
+    "register_scenario",
+    "get_scenario",
+    "scenario_names",
+]
+
+
+def _validate_event_params(kind: str, params: Dict) -> None:
+    """Reject applier keyword arguments at schedule-build (= spec) time.
+
+    Spec validation builds every schedule precisely to fail fast; a
+    typo'd applier kwarg or an out-of-range fraction must not survive
+    until the first event fires mid-run (possibly inside a worker
+    process, after ``period_factor · n²`` simulated interactions).
+    """
+    applier = EVENTS[kind]
+    signature = inspect.signature(applier)
+    accepts_kwargs = any(
+        parameter.kind is inspect.Parameter.VAR_KEYWORD
+        for parameter in signature.parameters.values()
+    )
+    if not accepts_kwargs:
+        known = set(signature.parameters) - {
+            "protocol", "configuration", "rng"
+        }
+        unknown = set(params) - known
+        if unknown:
+            raise ExperimentError(
+                f"event kind {kind!r} does not accept parameters "
+                f"{sorted(unknown)}; expected a subset of {sorted(known)}"
+            )
+    fraction = params.get("fraction")
+    if fraction is not None and not 0.0 < float(fraction) <= 1.0:
+        raise ExperimentError(
+            f"event fraction must be in (0, 1], got {fraction}"
+        )
+    count = params.get("count")
+    if count is not None and int(count) < 1:
+        raise ExperimentError(f"event count must be positive, got {count}")
+
+
+def _periodic_schedule(
+    n: int,
+    kind: str,
+    events: int,
+    period_factor: float,
+    params: Dict,
+) -> Tuple[ScheduledEvent, ...]:
+    """``events`` firings of one validated event kind, every
+    ``period_factor · n²`` interactions (the shared builder behind the
+    periodic scenarios)."""
+    _validate_event_params(kind, params)
+    events = int(events)
+    if events < 1:
+        raise ExperimentError(f"events must be positive, got {events}")
+    if period_factor <= 0:
+        raise ExperimentError(
+            f"period_factor must be positive, got {period_factor}"
+        )
+    period = max(1, int(round(float(period_factor) * n * n)))
+    return tuple(
+        ScheduledEvent(at=index * period, kind=kind, params=dict(params))
+        for index in range(1, events + 1)
+    )
+
+
+class Scenario(abc.ABC):
+    """One named workload family: initial condition + event schedule."""
+
+    #: Registry name (the ``scenario=`` string).
+    name: str = "scenario"
+    #: Default initial-condition family (a workload name understood by the
+    #: experiment layer); specs may override it for composition.
+    workload: str = "fresh"
+    #: One-line description for ``repro list --scenarios``.
+    description: str = ""
+    #: Whether the schedule is empty for every ``(n, params)``.  Static
+    #: scenarios are interchangeable with their ``workload=`` alias — the
+    #: experiment layer normalizes them so spec identities (and therefore
+    #: result stores) are shared between the two spellings.
+    is_static: bool = False
+
+    @abc.abstractmethod
+    def schedule(self, n: int, **params) -> Tuple[ScheduledEvent, ...]:
+        """The event schedule for one population size (sorted by time).
+
+        Must be a pure function of ``(n, params)`` and raise
+        :class:`~repro.core.errors.ExperimentError` on invalid parameters
+        — spec validation calls this for every ``n`` in the matrix.
+        """
+
+
+class StaticScenario(Scenario):
+    """A scenario that only names an initial condition (no events)."""
+
+    is_static = True
+
+    def __init__(self, name: str, workload: str, description: str = ""):
+        self.name = name
+        self.workload = workload
+        self.description = description
+
+    def schedule(self, n: int, **params) -> Tuple[ScheduledEvent, ...]:
+        if params:
+            raise ExperimentError(
+                f"static scenario {self.name!r} accepts no schedule "
+                f"parameters, got {sorted(params)}"
+            )
+        return ()
+
+
+class FaultStormScenario(Scenario):
+    """Periodic fault injection: one event kind fired every ``period``.
+
+    Parameters (via ``scenario_params``)
+    ------------------------------------
+    fault:
+        Event kind from :data:`~repro.scenarios.events.EVENTS`
+        (default ``"duplicate_rank"``).
+    events:
+        Number of injections (default 3).
+    period_factor:
+        Spacing between injections in units of ``n²`` (default 80.0) —
+        the first event fires at ``period_factor · n²``, comfortably past
+        the ``Θ(n² log n)/n²``-normalized stabilization times the paper
+        reports, so each injection hits a (typically) recovered system.
+    Remaining keyword arguments are forwarded to the event applier
+    (e.g. ``count=2``).
+    """
+
+    name = "fault_storm"
+    workload = "fresh"
+    description = (
+        "periodic mid-run fault injection; measures per-event recovery"
+    )
+
+    def schedule(self, n: int, *, fault: str = "duplicate_rank",
+                 events: int = 3, period_factor: float = 80.0,
+                 **fault_params) -> Tuple[ScheduledEvent, ...]:
+        if fault not in EVENTS:
+            raise ExperimentError(
+                f"unknown event kind {fault!r}; expected one of "
+                f"{tuple(EVENTS)}"
+            )
+        return _periodic_schedule(n, fault, events, period_factor,
+                                  fault_params)
+
+
+class ChurnScenario(Scenario):
+    """Periodic population churn: a fraction of agents leaves and rejoins."""
+
+    name = "churn"
+    workload = "fresh"
+    description = "periodic replacement of a population fraction by fresh agents"
+
+    def schedule(self, n: int, *, fraction: float = 0.25, events: int = 4,
+                 period_factor: float = 25.0) -> Tuple[ScheduledEvent, ...]:
+        return _periodic_schedule(n, "churn", events, period_factor,
+                                  {"fraction": float(fraction)})
+
+
+# ----------------------------------------------------------------------
+# Registry
+# ----------------------------------------------------------------------
+_REGISTRY: Dict[str, Scenario] = {}
+
+
+def register_scenario(scenario: Scenario, replace: bool = False) -> Scenario:
+    """Add a scenario to the registry (same caveats as backend registration)."""
+    if not replace and scenario.name in _REGISTRY:
+        raise ExperimentError(
+            f"scenario {scenario.name!r} is already registered"
+        )
+    _REGISTRY[scenario.name] = scenario
+    return scenario
+
+
+def get_scenario(name: str) -> Scenario:
+    """The registered scenario called ``name``."""
+    scenario = _REGISTRY.get(name)
+    if scenario is None:
+        raise ExperimentError(
+            f"unknown scenario {name!r}; expected one of {scenario_names()}"
+        )
+    return scenario
+
+
+def scenario_names() -> Tuple[str, ...]:
+    """All registered scenario names, in registration order."""
+    return tuple(_REGISTRY)
+
+
+# Static mirrors of the experiment layer's workload families: one scenario
+# per workload name, so ``scenario="figure2"`` and the back-compat alias
+# ``workload="figure2"`` are the same spec (the experiment layer
+# normalizes the former onto the latter, preserving identity hashes).
+for _name, _description in (
+    ("fresh", "the protocol's designated initial configuration"),
+    ("figure2", "worst-case start: ranks 2…n plus one maxed-out phase agent"),
+    ("figure3", "one unaware leader with rank 1, everyone else electing"),
+    ("duplicate_rank", "valid ranking with injected duplicate-rank faults"),
+    ("missing_rank", "valid ranking with one rank missing"),
+    ("adversarial", "uniformly-ish random states over the state space"),
+):
+    register_scenario(StaticScenario(_name, _name, _description))
+
+register_scenario(FaultStormScenario())
+register_scenario(ChurnScenario())

@@ -138,3 +138,36 @@ class TestFaultInjectionDriver:
             run_fault_injection(faults=("meteor_strike",))
         with pytest.raises(ExperimentError):
             run_fault_injection(repetitions=0)
+
+    def test_empty_cells_report_zero_instead_of_raising(self):
+        # Regression: an empty cell used to blow up the summary (empty
+        # sample) and the convergence lookup (missing key); it must
+        # render as 0 runs / 0.0 recovered instead.
+        from repro.experiments.fault_injection import (
+            FaultInjectionResult,
+            fault_injection_result_from_rows,
+            fault_injection_specs,
+        )
+        from repro.experiments.study import ResultSet
+
+        hollow = fault_injection_result_from_rows(ResultSet([], [], "faults"))
+        assert hollow.rows() == []
+
+        specs = fault_injection_specs(n_values=(8,), repetitions=1)
+        no_rows = fault_injection_result_from_rows(
+            ResultSet([], specs, "faults")
+        )
+        rows = no_rows.rows()
+        assert {row["fault"] for row in rows} == {
+            "duplicate_rank", "missing_rank", "adversarial",
+        }
+        assert all(row["runs"] == 0 for row in rows)
+        assert all(row["recovered_fraction"] == 0.0 for row in rows)
+        assert all(row["mean_recovery_interactions"] == 0.0 for row in rows)
+        assert "Fault-injection" in format_fault_injection(no_rows)
+
+        # A result object missing a convergence entry entirely must not
+        # KeyError either.
+        partial = FaultInjectionResult(n_values=(8,), repetitions=1)
+        partial.recovery[("duplicate_rank", 8)] = [12]
+        assert partial.rows()[0]["recovered_fraction"] == 0.0

@@ -33,9 +33,31 @@ class TestSimpleWorkloads:
     def test_duplicate_rank_configuration(self):
         config = duplicate_rank_configuration(20, duplicates=3, random_state=0)
         assert not config.is_valid_ranking()
-        assert 1 <= len(config.duplicate_ranks()) <= 3
+        # Donors are drawn disjointly from victims and donor ranks come
+        # from the pre-fault ranking, so the injected count is exact.
+        assert len(config.duplicate_ranks()) == 3
         with pytest.raises(ConfigurationError):
             duplicate_rank_configuration(5, duplicates=5)
+
+    def test_duplicate_rank_count_is_exact_for_every_seed(self):
+        # The fix for order-dependent donor selection: whatever the draw,
+        # `duplicates` ranks are duplicated and as many go missing.
+        for seed in range(20):
+            for duplicates in (1, 4, 10):
+                config = duplicate_rank_configuration(
+                    20, duplicates=duplicates, random_state=seed
+                )
+                assert len(config.duplicate_ranks()) == duplicates, (
+                    seed, duplicates,
+                )
+                held = set(config.assigned_ranks())
+                missing = set(range(1, 21)) - held
+                assert len(missing) == duplicates
+
+    def test_duplicate_rank_bound_requires_distinct_donors(self):
+        # Exactness needs a distinct untouched donor per victim.
+        with pytest.raises(ConfigurationError):
+            duplicate_rank_configuration(20, duplicates=11)
 
     def test_missing_rank_configuration(self):
         protocol = StableRanking(10)

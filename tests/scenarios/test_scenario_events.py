@@ -1,0 +1,181 @@
+"""Tests for perturbation events and the scenario registry."""
+
+import numpy as np
+import pytest
+
+from repro.core.errors import ExperimentError
+from repro.protocols.ranking.stable_ranking import StableRanking
+from repro.experiments.workloads import valid_ranking_configuration
+from repro.scenarios import (
+    EVENTS,
+    ChurnScenario,
+    FaultStormScenario,
+    ScheduledEvent,
+    StaticScenario,
+    bind_schedule,
+    get_scenario,
+    register_event,
+    register_scenario,
+    scenario_names,
+)
+
+
+def apply(kind, protocol, configuration, seed=0, **params):
+    return EVENTS[kind](
+        protocol, configuration, np.random.default_rng(seed), **params
+    )
+
+
+class TestEventKinds:
+    def test_registry_contents(self):
+        assert set(EVENTS) >= {
+            "rank_corruption", "duplicate_rank", "missing_rank",
+            "crash_reset", "churn", "scramble",
+        }
+
+    def test_rank_corruption_replaces_states(self):
+        protocol = StableRanking(16)
+        config = valid_ranking_configuration(16)
+        summary = apply("rank_corruption", protocol, config, count=4)
+        assert summary == {"kind": "rank_corruption", "agents": 4}
+        assert config.ranked_count() == 16
+        assert all(1 <= rank <= 16 for rank in config.assigned_ranks())
+
+    def test_duplicate_rank_is_exact_on_a_valid_ranking(self):
+        protocol = StableRanking(16)
+        for seed in range(10):
+            config = valid_ranking_configuration(16)
+            summary = apply(
+                "duplicate_rank", protocol, config, seed=seed, count=3
+            )
+            assert summary["agents"] == 3
+            assert len(config.duplicate_ranks()) == 3
+
+    def test_duplicate_rank_clips_to_available_donors(self):
+        protocol = StableRanking(16)
+        config = valid_ranking_configuration(16)
+        # Only 3 ranked agents left after unranking the rest.
+        for index in range(13):
+            config[index] = protocol.initial_state()
+        summary = apply("duplicate_rank", protocol, config, count=5)
+        assert summary["agents"] == 1  # 3 ranked agents -> one pair
+
+    def test_missing_rank_unranks_agents(self):
+        protocol = StableRanking(16)
+        config = valid_ranking_configuration(16)
+        summary = apply("missing_rank", protocol, config, count=2)
+        assert summary["agents"] == 2
+        assert config.ranked_count() == 14
+        dropped = [
+            state for state in config.states
+            if getattr(state, "phase", None) is not None
+        ]
+        assert len(dropped) == 2
+        assert all(state.alive_count == protocol.l_max for state in dropped)
+
+    def test_crash_reset_and_churn_insert_fresh_agents(self):
+        protocol = StableRanking(16)
+        config = valid_ranking_configuration(16)
+        assert apply("crash_reset", protocol, config, count=3)["agents"] == 3
+        config = valid_ranking_configuration(16)
+        assert apply("churn", protocol, config, fraction=0.5)["agents"] == 8
+        assert config.ranked_count() == 8
+        with pytest.raises(ExperimentError):
+            apply("churn", protocol, config, fraction=0.0)
+
+    def test_scramble_is_reproducible(self):
+        protocol = StableRanking(16)
+        first = valid_ranking_configuration(16)
+        second = valid_ranking_configuration(16)
+        apply("scramble", protocol, first, seed=9)
+        apply("scramble", protocol, second, seed=9)
+        as_tuples = lambda config: [s.as_tuple() for s in config.states]
+        assert as_tuples(first) == as_tuples(second)
+        third = valid_ranking_configuration(16)
+        apply("scramble", protocol, third, seed=10)
+        assert as_tuples(first) != as_tuples(third)
+
+    def test_register_event_rejects_duplicates(self):
+        with pytest.raises(ExperimentError, match="already registered"):
+            register_event("churn", EVENTS["churn"])
+
+
+class TestScheduledEvent:
+    def test_validation(self):
+        event = ScheduledEvent(at=10, kind="churn", params={"fraction": 0.5})
+        assert event.at == 10
+        with pytest.raises(ExperimentError, match="non-negative"):
+            ScheduledEvent(at=-1, kind="churn")
+        with pytest.raises(ExperimentError, match="unknown event kind"):
+            ScheduledEvent(at=0, kind="meteor_strike")
+
+    def test_bind_schedule_gives_each_event_its_own_stream(self):
+        protocol = StableRanking(16)
+        schedule = (
+            ScheduledEvent(at=100, kind="scramble"),
+            ScheduledEvent(at=50, kind="scramble"),
+        )
+        bound = bind_schedule(schedule, protocol, np.random.SeedSequence(1))
+        assert [event.at for event in bound] == [50, 100]  # sorted
+        one = valid_ranking_configuration(16)
+        two = valid_ranking_configuration(16)
+        bound[0].mutate(one)
+        bound[1].mutate(two)
+        as_tuples = lambda config: [s.as_tuple() for s in config.states]
+        assert as_tuples(one) != as_tuples(two)
+        # Re-binding reproduces both exactly.
+        again = bind_schedule(schedule, protocol, np.random.SeedSequence(1))
+        redo = valid_ranking_configuration(16)
+        again[0].mutate(redo)
+        assert as_tuples(redo) == as_tuples(one)
+
+
+class TestScenarioRegistry:
+    def test_static_mirrors_every_workload(self):
+        from repro.experiments.study import WORKLOADS
+
+        for name in WORKLOADS:
+            scenario = get_scenario(name)
+            assert scenario.is_static
+            assert scenario.workload == name
+            assert scenario.schedule(64) == ()
+
+    def test_static_scenarios_reject_schedule_params(self):
+        with pytest.raises(ExperimentError, match="no schedule"):
+            get_scenario("figure2").schedule(64, events=3)
+
+    def test_unknown_scenario(self):
+        with pytest.raises(ExperimentError, match="unknown scenario"):
+            get_scenario("meteor_storm")
+
+    def test_duplicate_registration_rejected(self):
+        with pytest.raises(ExperimentError, match="already registered"):
+            register_scenario(StaticScenario("fresh", "fresh"))
+
+    def test_fault_storm_schedule_shape(self):
+        scenario = get_scenario("fault_storm")
+        assert isinstance(scenario, FaultStormScenario)
+        schedule = scenario.schedule(
+            16, fault="crash_reset", events=4, period_factor=2.0, count=3
+        )
+        assert [event.at for event in schedule] == [512, 1024, 1536, 2048]
+        assert all(event.kind == "crash_reset" for event in schedule)
+        assert all(event.params == {"count": 3} for event in schedule)
+        with pytest.raises(ExperimentError, match="unknown event kind"):
+            scenario.schedule(16, fault="meteor_strike")
+        with pytest.raises(ExperimentError, match="events must be positive"):
+            scenario.schedule(16, events=0)
+        with pytest.raises(ExperimentError, match="period_factor"):
+            scenario.schedule(16, period_factor=-1.0)
+
+    def test_churn_schedule_shape(self):
+        scenario = get_scenario("churn")
+        assert isinstance(scenario, ChurnScenario)
+        schedule = scenario.schedule(8, fraction=0.5, events=2,
+                                     period_factor=1.0)
+        assert [event.at for event in schedule] == [64, 128]
+        assert all(event.params == {"fraction": 0.5} for event in schedule)
+
+    def test_names_include_event_bearing_scenarios(self):
+        names = scenario_names()
+        assert "fault_storm" in names and "churn" in names
