@@ -469,3 +469,192 @@ def test_aggregate_engine_full_run(benchmark):
         protocol="space-efficient-ranking",
         n=4096,
     )
+
+
+# ----------------------------------------------------------------------
+# Group-count engine: million-agent scale rows
+# ----------------------------------------------------------------------
+GROUP_SIZES = (8192, 100_000, 1_000_000)
+GROUP_EVENT_BUDGET = 256
+
+
+def _count_profile(protocol, model):
+    """Collapse the designated initial configuration to (state, count) pairs.
+
+    Protocols without a ``count_profile`` declaration still have compact
+    fresh starts; the collapse happens once, outside the timed rounds, so
+    the rows measure the engine rather than n object materializations.
+    """
+    profile = protocol.count_profile()
+    if profile is not None:
+        return profile
+    codec = model.codec
+    counts = {}
+    for state in protocol.initial_configuration():
+        code = codec.encode(state)
+        counts[code] = counts.get(code, 0) + 1
+    return [(codec.prototype(code), count) for code, count in counts.items()]
+
+
+def _run_group_full(benchmark, factory, protocol_name, n, workload):
+    from repro.core.group_engine import GroupCountSimulator, GroupTransitionModel
+
+    protocol = factory(n)
+    model = GroupTransitionModel(protocol)
+    profile = _count_profile(protocol, model)
+    seeds = iter(range(100))
+    interactions = []
+
+    def run():
+        simulator = GroupCountSimulator(
+            protocol, state_counts=profile, model=model,
+            random_state=next(seeds),
+        )
+        result = simulator.run(max_interactions=10**18)
+        assert result.converged
+        interactions.append(result.interactions)
+
+    benchmark.pedantic(run, rounds=3, iterations=1, warmup_rounds=1)
+    _tag(
+        benchmark,
+        workload=workload,
+        engine="group",
+        protocol=protocol_name,
+        n=n,
+    )
+    benchmark.extra_info["mean_interactions"] = float(np.mean(interactions))
+
+
+def _run_group_budgeted(benchmark, factory, protocol_name, n, workload):
+    from repro.core.group_engine import GroupCountSimulator, GroupTransitionModel
+
+    protocol = factory(n)
+    model = GroupTransitionModel(protocol)
+    profile = _count_profile(protocol, model)
+
+    def run():
+        simulator = GroupCountSimulator(
+            protocol, state_counts=profile, model=model, random_state=0
+        )
+        result = simulator.run(
+            max_interactions=10**18, max_events=GROUP_EVENT_BUDGET
+        )
+        assert result.events == GROUP_EVENT_BUDGET
+
+    benchmark.pedantic(run, rounds=3, iterations=1, warmup_rounds=1)
+    _tag(
+        benchmark,
+        workload=workload,
+        engine="group",
+        protocol=protocol_name,
+        n=n,
+    )
+    benchmark.extra_info["events_per_round"] = GROUP_EVENT_BUDGET
+
+
+def test_group_epidemic_full_run_8192(benchmark):
+    """Full epidemic at n=8192 on the group-count engine (n-1 events)."""
+    _run_group_full(
+        benchmark, OneWayEpidemicProtocol, "one-way-epidemic", 8192,
+        "group_epidemic_full_run_8192",
+    )
+
+
+def test_reference_epidemic_full_run_8192(benchmark):
+    """The matched agent-level run — the speedup denominator at n=8192."""
+    seeds = iter(range(100))
+    interactions = []
+
+    def run():
+        result = Simulator(
+            OneWayEpidemicProtocol(8192), random_state=next(seeds)
+        ).run(max_interactions=10**9)
+        assert result.converged
+        interactions.append(result.interactions)
+
+    benchmark.pedantic(run, rounds=3, iterations=1, warmup_rounds=1)
+    _tag(
+        benchmark,
+        workload="group_epidemic_full_run_8192",
+        engine="reference",
+        protocol="one-way-epidemic",
+        n=8192,
+    )
+    benchmark.extra_info["mean_interactions"] = float(np.mean(interactions))
+
+
+def test_group_epidemic_full_run_100k(benchmark):
+    _run_group_full(
+        benchmark, OneWayEpidemicProtocol, "one-way-epidemic", 100_000,
+        "group_epidemic_full_run_100000",
+    )
+
+
+def test_group_epidemic_full_run_1m(benchmark):
+    """The ISSUE's acceptance cell: a full epidemic at one million agents."""
+    _run_group_full(
+        benchmark, OneWayEpidemicProtocol, "one-way-epidemic", 1_000_000,
+        "group_epidemic_full_run_1000000",
+    )
+
+
+def test_group_stable_ranking_event_throughput(benchmark):
+    """Budgeted StableRanking slices at n=10^6 (Θ(n)-state protocols run
+    the count process exactly but cannot tabulate to convergence)."""
+    _run_group_budgeted(
+        benchmark, StableRanking, "stable-ranking", 1_000_000,
+        "group_stable_ranking_events_1000000",
+    )
+
+
+def test_group_burman_event_throughput(benchmark):
+    _run_group_budgeted(
+        benchmark, BurmanStyleRanking, "burman-style-ranking", 1_000_000,
+        "group_burman_events_1000000",
+    )
+
+
+def test_group_cai_event_throughput(benchmark):
+    _run_group_budgeted(
+        benchmark, CaiRanking, "cai-ranking", 1_000_000,
+        "group_cai_events_1000000",
+    )
+
+
+# ----------------------------------------------------------------------
+# Aggregate engine at paper-and-beyond scale (the space-efficient rows)
+# ----------------------------------------------------------------------
+def _run_aggregate_full(benchmark, n, rounds):
+    seeds = iter(range(10_000))
+    interactions = []
+
+    def run():
+        engine = AggregateSpaceEfficientRanking(n, random_state=next(seeds))
+        outcome = engine.run(max_interactions=10**15)
+        assert outcome.converged
+        interactions.append(outcome.interactions)
+
+    benchmark.pedantic(run, rounds=rounds, iterations=1)
+    _tag(
+        benchmark,
+        workload=f"aggregate_full_run_{n}",
+        engine="aggregate",
+        protocol="space-efficient-ranking",
+        n=n,
+    )
+    benchmark.extra_info["mean_interactions"] = float(np.mean(interactions))
+
+
+def test_aggregate_engine_full_run_8192(benchmark):
+    """Full SpaceEfficientRanking at n=8192 (the paper's largest size)."""
+    _run_aggregate_full(benchmark, 8192, rounds=3)
+
+
+def test_aggregate_engine_full_run_100k(benchmark):
+    _run_aggregate_full(benchmark, 100_000, rounds=3)
+
+
+def test_aggregate_engine_full_run_1m(benchmark):
+    """The ISSUE's acceptance cell: space-efficient ranking at n=10^6 on
+    its count-level engine, single-digit seconds per full run."""
+    _run_aggregate_full(benchmark, 1_000_000, rounds=1)

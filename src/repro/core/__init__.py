@@ -19,6 +19,13 @@ from .backends import (
     resolve_backend,
 )
 from .codec import DenseTransitionTables, StateCodec, compile_dense_tables
+from .group_engine import (
+    CountGoal,
+    GroupCountSimulator,
+    GroupRunResult,
+    GroupTransitionModel,
+    RankingCountGoal,
+)
 from .probe_table import ProbeClassTable
 from .configuration import Configuration
 from .errors import (
@@ -53,15 +60,20 @@ __all__ = [
     "ColumnStore",
     "Configuration",
     "ConfigurationError",
+    "CountGoal",
     "DenseTransitionTables",
     "EngineCache",
     "EventDrivenSimulator",
     "ExperimentError",
+    "GroupCountSimulator",
+    "GroupRunResult",
+    "GroupTransitionModel",
     "MetricsCollector",
     "PopulationProtocol",
     "ProbeClassTable",
     "ProtocolError",
     "RandomnessConsumed",
+    "RankingCountGoal",
     "RankingProtocol",
     "ReproError",
     "Role",

@@ -24,7 +24,8 @@ from __future__ import annotations
 
 import abc
 from dataclasses import dataclass
-from typing import Callable, Dict, List, Optional, Tuple
+from math import log1p
+from typing import Callable, Dict, Optional
 
 import numpy as np
 
@@ -69,6 +70,9 @@ class EventDrivenSimulator(abc.ABC):
     * :meth:`is_done` — whether the target configuration has been reached.
     """
 
+    #: Number of uniforms drawn per refill of the sampling buffer.
+    _UNIFORM_BATCH = 4096
+
     def __init__(self, n: int, random_state: RandomState = None):
         if n < 2:
             raise ValueError(f"population size must be at least 2, got {n}")
@@ -76,6 +80,12 @@ class EventDrivenSimulator(abc.ABC):
         self._rng = make_rng(random_state)
         self._interactions = 0
         self._events = 0
+        self._total_pairs = self._n * (self._n - 1)
+        # Uniform draws are consumed two per event; batching them into one
+        # vectorized ``rng.random(k)`` call amortizes the per-call overhead
+        # of scalar generator draws (~0.4 us each) across the event loop.
+        self._uniforms: list = []
+        self._uniform_pos = 0
 
     @property
     def n(self) -> int:
@@ -100,7 +110,7 @@ class EventDrivenSimulator(abc.ABC):
     @property
     def total_ordered_pairs(self) -> int:
         """``n·(n-1)``, the number of possible ordered interactions."""
-        return self._n * (self._n - 1)
+        return self._total_pairs
 
     # ------------------------------------------------------------------
     # Dynamics specification (subclass responsibility)
@@ -125,36 +135,63 @@ class EventDrivenSimulator(abc.ABC):
     # ------------------------------------------------------------------
     # Driving loop
     # ------------------------------------------------------------------
-    def step_event(self) -> Optional[str]:
+    def step_event(self, limit: Optional[int] = None) -> Optional[str]:
         """Advance to (and apply) the next productive event.
 
         Returns the applied event name, or ``None`` when no event class has
-        positive weight (a genuinely dead configuration).
+        positive weight (a genuinely dead configuration) or when the sampled
+        waiting time would carry ``interactions`` past ``limit`` — in that
+        case the interaction counter is clamped to ``limit`` and the event is
+        *not* applied, so budget-bounded runs never overshoot.
         """
-        weights = {
-            name: weight for name, weight in self.event_weights().items() if weight > 0
-        }
-        if not weights:
+        weights = self.event_weights()
+        total = 0.0
+        for weight in weights.values():
+            if weight > 0.0:
+                total += weight
+        if total == 0.0:
             return None
-        total_weight = float(sum(weights.values()))
-        success_probability = total_weight / self.total_ordered_pairs
+        success_probability = total / self._total_pairs
         if success_probability > 1.0:
             raise SimulationLimitExceeded(
                 "event weights exceed the number of ordered pairs "
-                f"({total_weight} > {self.total_ordered_pairs}); "
+                f"({total} > {self._total_pairs}); "
                 "the event decomposition is inconsistent"
             )
-        # Number of interactions up to and including the productive one.
+        uniforms = self._uniforms
+        position = self._uniform_pos
+        if position + 2 > len(uniforms):
+            uniforms = self._uniforms = self._rng.random(self._UNIFORM_BATCH).tolist()
+            position = 0
+        # Number of interactions up to and including the productive one:
+        # exact geometric via inverse transform, ``1 + floor(ln(1-U)/ln(1-p))``
+        # (cheaper than a scalar ``rng.geometric`` call in the event loop).
         if success_probability >= 1.0:
             waiting = 1
         else:
-            waiting = int(self._rng.geometric(success_probability))
+            waiting = 1 + int(
+                log1p(-uniforms[position]) / log1p(-success_probability)
+            )
+            position += 1
+        if limit is not None and self._interactions + waiting > limit:
+            self._uniform_pos = position
+            self._interactions = limit
+            return None
         self._interactions += waiting
 
-        names: List[str] = list(weights)
-        probabilities = np.array([weights[name] for name in names], dtype=float)
-        probabilities /= probabilities.sum()
-        chosen = names[int(self._rng.choice(len(names), p=probabilities))]
+        # Inverse-transform sampling over the (unnormalized) weights: one
+        # uniform draw and a running cumulative sum replace the per-event
+        # probability-array rebuild that ``rng.choice(p=...)`` would require.
+        threshold = uniforms[position] * total
+        self._uniform_pos = position + 1
+        cumulative = 0.0
+        chosen = None
+        for name, weight in weights.items():
+            if weight > 0.0:
+                chosen = name  # last positive class absorbs the u == total edge
+                cumulative += weight
+                if threshold < cumulative:
+                    break
         self.apply_event(chosen)
         self._events += 1
         return chosen
@@ -184,12 +221,14 @@ class EventDrivenSimulator(abc.ABC):
                 if name not in reached and predicate():
                     reached[name] = self._interactions
 
-        check_milestones()
+        if milestones:
+            check_milestones()
         while not self.is_done() and self._interactions < budget_end:
-            applied = self.step_event()
+            applied = self.step_event(limit=budget_end)
             if applied is None:
                 break
-            check_milestones()
+            if milestones:
+                check_milestones()
         return AggregateResult(
             converged=self.is_done(),
             interactions=self._interactions,

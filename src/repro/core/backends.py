@@ -30,13 +30,15 @@ Exactness classes
     reference itself, and the array engine on every path).
 ``"distribution"``
     Exact in distribution but simulated in a different representation
-    (the aggregate engine evolves group counts, not agents).
+    (the aggregate and group-count engines evolve state counts, not
+    agents).
 
-The reference and array backends are registered here; the aggregate
-backend's *capability logic* also lives here (it needs nothing but the
-protocol's name), while its execution stays with the experiment layer —
-it simulates counts, not agents, and therefore has ``kind="aggregate"``
-rather than the agent-level ``create`` contract.
+The reference and array backends are registered here; the aggregate and
+group-count backends' *capability logic* also lives here (it needs
+nothing but the protocol's declarations), while their execution stays
+with the experiment layer — they simulate counts, not agents, and
+therefore have ``kind`` ``"aggregate"``/``"count"`` rather than the
+agent-level ``create`` contract.
 """
 
 from __future__ import annotations
@@ -55,6 +57,7 @@ __all__ = [
     "ReferenceBackend",
     "ArrayBackend",
     "AggregateBackend",
+    "GroupCountBackend",
     "register_backend",
     "get_backend",
     "backend_names",
@@ -287,6 +290,96 @@ class AggregateBackend(Backend):
         )
 
 
+class GroupCountBackend(Backend):
+    """The codec-derived exact engine on state counts (scaling sweeps).
+
+    Where the aggregate engine needs a hand-derived event decomposition
+    per protocol, this backend serves *every* deterministic protocol: the
+    group engine tabulates productive ordered transitions through the
+    protocol's own :func:`~repro.core.codec.evaluate_pair` and runs the
+    exact no-op-skipping event process on a state-count vector.  The
+    capability answer is negotiated from the same declarations the codec
+    layer uses — :meth:`~repro.core.protocol.PopulationProtocol
+    .consumes_randomness` must be a declared ``False`` (lumping the agent
+    process to counts is only exact when the transition is a function of
+    the two states), and the protocol must answer
+    :meth:`~repro.core.protocol.PopulationProtocol.count_goal` (the
+    convergence observable the engine tracks over counts).
+
+    The throughput hint is population-aware: per-event cost is dominated
+    by the count-vector width, not ``n``, so for a compact declared state
+    space at large ``n`` the engine is orders of magnitude faster than
+    any agent-level path — but at small ``n`` the agent engines win, and
+    for protocols with large or undeclared state spaces the tabulation
+    cost is real, so the hint stays below the agent engines and ``auto``
+    only routes to the group engine when it is clearly the right tool.
+    """
+
+    name = "group"
+    kind = "count"
+
+    #: Declared state spaces at or below this size tabulate in one burst.
+    COMPACT_STATE_SPACE = 512
+    #: Population size from which count-level simulation clearly wins.
+    LARGE_POPULATION = 65536
+    #: Hints: clearly-winning cells vs "capable, but let agent engines win".
+    HINT_COMPACT_LARGE_N = 64.0
+    HINT_DEFAULT = 0.9
+
+    def capabilities(self, protocol, workload, n, *, series=False,
+                     events=False, stop_on_convergence=True):
+        if events:
+            return BackendCapability(
+                supported=False,
+                supports_series=False,
+                supports_events=False,
+                reason=(
+                    "the group-count engine evolves state counts, not "
+                    "agents; agent-level mid-run events cannot be applied"
+                ),
+            )
+        if series:
+            return BackendCapability(
+                supported=False,
+                supports_series=False,
+                supports_events=False,
+                reason="the group-count engine does not record metric series",
+            )
+        if protocol.consumes_randomness() is not False:
+            return BackendCapability(
+                supported=False,
+                supports_events=False,
+                reason=(
+                    "the count process is only exactly lumped for "
+                    "deterministic transitions; the protocol does not "
+                    "declare consumes_randomness() = False"
+                ),
+            )
+        if protocol.count_goal(None) is None:
+            return BackendCapability(
+                supported=False,
+                supports_events=False,
+                reason=(
+                    "the protocol declares no count_goal(); convergence "
+                    "cannot be observed over state counts"
+                ),
+            )
+        size = protocol.state_space_size()
+        compact = size is not None and size <= self.COMPACT_STATE_SPACE
+        hint = (
+            self.HINT_COMPACT_LARGE_N
+            if compact and n >= self.LARGE_POPULATION
+            else self.HINT_DEFAULT
+        )
+        return BackendCapability(
+            supported=True,
+            exactness="distribution",
+            supports_series=False,
+            supports_events=False,
+            throughput_hint=hint,
+        )
+
+
 # ----------------------------------------------------------------------
 # Registry
 # ----------------------------------------------------------------------
@@ -340,6 +433,7 @@ def resolve_backend(
     events: bool = False,
     stop_on_convergence: bool = True,
     kinds: Optional[Sequence[str]] = None,
+    exactness: Optional[str] = None,
 ) -> Tuple[Backend, BackendCapability]:
     """Resolve an engine request for one cell into a capable backend.
 
@@ -348,6 +442,13 @@ def resolve_backend(
     when it cannot run the cell.  ``engine="auto"`` returns the supported
     backend with the highest throughput hint (registration order breaks
     ties), restricted to the given ``kinds`` when provided.
+
+    ``exactness`` pins the resolution to one exactness class (exact
+    equality on :attr:`BackendCapability.exactness`): a concrete engine of
+    a different class is rejected, and ``"auto"`` only considers backends
+    of that class.  A cell that needs per-trajectory reproducibility pins
+    ``"trajectory"``; a distribution-level scaling sweep pins
+    ``"distribution"`` so the count engines compete on speed alone.
     """
     if engine != AUTO_ENGINE:
         backend = get_backend(engine)
@@ -366,6 +467,12 @@ def resolve_backend(
                 f"{protocol.name!r} with workload {workload!r}: "
                 f"{capability.reason}"
             )
+        if exactness is not None and capability.exactness != exactness:
+            raise ExperimentError(
+                f"engine {engine!r} has exactness "
+                f"{capability.exactness!r} for this cell, but the spec "
+                f"requires {exactness!r}"
+            )
         return backend, capability
 
     best: Optional[Tuple[Backend, BackendCapability]] = None
@@ -378,12 +485,17 @@ def resolve_backend(
         )
         if not capability.supported:
             continue
+        if exactness is not None and capability.exactness != exactness:
+            continue
         if best is None or capability.throughput_hint > best[1].throughput_hint:
             best = (backend, capability)
     if best is None:
+        requirement = (
+            f" with exactness {exactness!r}" if exactness is not None else ""
+        )
         raise ExperimentError(
             f"no registered backend supports protocol {protocol.name!r} "
-            f"with workload {workload!r}"
+            f"with workload {workload!r}{requirement}"
         )
     return best
 
@@ -408,3 +520,4 @@ def capability_matrix(
 register_backend(ReferenceBackend())
 register_backend(ArrayBackend())
 register_backend(AggregateBackend())
+register_backend(GroupCountBackend())

@@ -175,6 +175,29 @@ class PopulationProtocol(abc.ABC, Generic[S]):
         """
         return ()
 
+    def count_goal(self, codec):
+        """Convergence observable over state counts for the group engine.
+
+        Protocols that can express their goal as a function of *how many*
+        agents occupy each state (rather than which agent occupies it)
+        return a :class:`~repro.core.group_engine.CountGoal` built over
+        ``codec``; the group-count engine then simulates the exact lumped
+        count process instead of individual agents.  Returning ``None``
+        (the default) opts the protocol out of the group engine.
+        """
+        return None
+
+    def count_profile(self):
+        """Initial configuration as ``(state, multiplicity)`` pairs, if known.
+
+        The group engine only needs counts, so protocols whose designated
+        initial configuration collapses to a handful of distinct states can
+        return them here and skip materializing ``n`` state objects (the
+        difference between milliseconds and seconds at ``n = 10^6``).
+        ``None`` (the default) falls back to building the configuration.
+        """
+        return None
+
     def vectorized_kernel(self, codec):
         """Optional struct-of-arrays fast path for the array engine.
 
@@ -215,6 +238,12 @@ class RankingProtocol(PopulationProtocol[S]):
         if rank is None:
             return None
         return rank == 1
+
+    def count_goal(self, codec):
+        """Ranking goal over counts: ranks held form a permutation of 1..n."""
+        from .group_engine import RankingCountGoal
+
+        return RankingCountGoal(self._n)
 
 
 def make_probe(name: str, function: Callable[[Configuration], float]):

@@ -32,6 +32,7 @@ from typing import List, Optional, Sequence
 from ..core.errors import ExperimentError
 from ..scenarios import get_scenario, scenario_names
 from . import comparison as _comparison
+from . import epidemic as _epidemic
 from . import fault_injection as _fault
 from . import fault_storm as _storm
 from . import figure2 as _figure2
@@ -101,6 +102,23 @@ def _figure3_specs(args):
 
 def _figure3_render(result: ResultSet, args) -> str:
     return _figure3.format_figure3(_figure3.figure3_result_from_rows(result))
+
+
+def _epidemic_specs(args):
+    return _epidemic.epidemic_specs(
+        n_values=_parse_ints(args.n, _epidemic.EPIDEMIC_POPULATION_SIZES),
+        fractions=_parse_floats(args.fractions, _epidemic.EPIDEMIC_FRACTIONS),
+        repetitions=args.seeds if args.seeds is not None else 25,
+        engine=args.engine or "auto",
+        max_interactions_factor=args.max_factor or 100.0,
+        random_state=args.seed,
+    )
+
+
+def _epidemic_render(result: ResultSet, args) -> str:
+    return _epidemic.format_epidemic(
+        _epidemic.epidemic_result_from_rows(result)
+    )
 
 
 def _scaling_specs(args):
@@ -187,6 +205,11 @@ EXPERIMENTS = {
         "help": "Figure 3: normalized times to rank fractions of the agents",
         "specs": _figure3_specs,
         "render": _figure3_render,
+    },
+    "epidemic": {
+        "help": "One-way epidemic scaling to n=10^6 vs the Lemma 14 bound",
+        "specs": _epidemic_specs,
+        "render": _epidemic_render,
     },
     "scaling": {
         "help": "Stabilization-time scaling (Theorem 1 shape check)",
@@ -300,8 +323,8 @@ def _build_parser() -> argparse.ArgumentParser:
                      help="independent seeded runs per (variant, n) cell")
     run.add_argument("--engine", default=None,
                      help="simulation engine (auto | reference | array | "
-                          "aggregate); auto (the default) resolves each "
-                          "cell to the fastest capable backend")
+                          "aggregate | group); auto (the default) resolves "
+                          "each cell to the fastest capable backend")
     run.add_argument("--jobs", type=int, default=1,
                      help="worker processes for the cell fan-out (default 1)")
     run.add_argument("--out", default="results",
@@ -314,7 +337,8 @@ def _build_parser() -> argparse.ArgumentParser:
     run.add_argument("--samples", type=int, default=240,
                      help="figure2: metric snapshots across the budget")
     run.add_argument("--fractions", default=None,
-                     help="figure3: comma-separated ranked fractions")
+                     help="figure3/epidemic: comma-separated milestone "
+                          "fractions")
     run.add_argument("--workload", default="fresh",
                      choices=("fresh", "corrupted"),
                      help="comparison: starting configuration family")

@@ -1,0 +1,145 @@
+"""One-way epidemic scaling sweep against the Lemma 14 bound.
+
+The paper's analysis leans on one-way epidemics three times (starting the
+ranking, propagating phase increments, spreading resets) and bounds their
+completion time with Lemma 14: with probability at least ``1 - 2·n^-γ``
+an epidemic among ``m`` agents completes within ``3·n²/m · (log m +
+2γ·log n)`` interactions.  This preset measures the actual distribution —
+the interaction counts at which fractions of the population are informed,
+normalized by ``n·ln n`` (the epidemic's natural scale; completion is
+``Θ(n log n)`` interactions) — across population sizes up to
+``n = 10^6``, and renders it next to the analytic bound.
+
+The sweep is only tractable at those sizes because the spec pins
+``exactness="distribution"``: the epidemic has four states regardless of
+``n``, so the backend registry routes every cell to the group-count
+engine, which simulates the exact lumped count process in ``n - 1``
+productive events instead of ``Θ(n² log n)`` agent-level interactions.
+(The pin is also load-bearing for correctness of the milestone
+measurement: the agent-level milestone path counts *ranked* agents, and
+the epidemic never assigns ranks.)
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence, Tuple
+
+from ..analysis.statistics import summarize
+from ..core.errors import ExperimentError
+from ..protocols.primitives.one_way_epidemic import epidemic_upper_bound
+from .ascii_plot import format_table
+from .study import ExperimentSpec, ResultSet
+
+__all__ = [
+    "EpidemicResult",
+    "epidemic_specs",
+    "epidemic_result_from_rows",
+    "format_epidemic",
+    "EPIDEMIC_FRACTIONS",
+    "EPIDEMIC_POPULATION_SIZES",
+]
+
+#: Informed fractions whose first-hit times the sweep records; 1.0 is the
+#: completed epidemic that Lemma 14 bounds.
+EPIDEMIC_FRACTIONS = (0.5, 0.75, 0.875, 1.0)
+
+#: Default population sizes — the top size is the ISSUE's ``n = 10^6``.
+EPIDEMIC_POPULATION_SIZES = (8192, 100_000, 1_000_000)
+
+
+@dataclass
+class EpidemicResult:
+    """Normalized times to inform each fraction, per population size."""
+
+    fractions: Sequence[float]
+    n_values: Sequence[int]
+    repetitions: int
+    engine: str
+    #: samples[n][fraction] = interactions / (n·ln n) values, one per run.
+    samples: Dict[int, Dict[float, List[float]]] = field(default_factory=dict)
+
+    def mean(self, n: int, fraction: float) -> float:
+        """Mean normalized time to inform ``fraction`` of the agents."""
+        return summarize(self.samples[n][fraction]).mean
+
+    def bound(self, n: int, gamma: float = 1.0) -> float:
+        """The Lemma 14 completion bound, normalized by ``n·ln n``."""
+        return epidemic_upper_bound(n, n, gamma) / (n * math.log(n))
+
+
+def epidemic_specs(
+    n_values: Sequence[int] = EPIDEMIC_POPULATION_SIZES,
+    fractions: Sequence[float] = EPIDEMIC_FRACTIONS,
+    repetitions: int = 25,
+    engine: str = "auto",
+    max_interactions_factor: float = 100.0,
+    random_state: int = 0,
+) -> Tuple[ExperimentSpec, ...]:
+    """The epidemic sweep as a declarative spec.
+
+    The spec pins ``exactness="distribution"``, so ``engine="auto"``
+    resolves every cell to the group-count engine; requesting a
+    trajectory-exact engine raises at spec construction (the agent-level
+    milestone path cannot observe informed fractions).
+    """
+    return (
+        ExperimentSpec(
+            variant="epidemic",
+            protocol="one-way-epidemic",
+            n_values=tuple(n_values),
+            seeds=repetitions,
+            engine=engine,
+            exactness="distribution",
+            workload="fresh",
+            max_interactions_factor=float(max_interactions_factor),
+            milestone_fractions=tuple(fractions),
+            random_state=random_state,
+        ),
+    )
+
+
+def epidemic_result_from_rows(result: ResultSet) -> EpidemicResult:
+    """Collect the milestone rows into an :class:`EpidemicResult`."""
+    spec = result.specs[0]
+    fractions = tuple(spec.milestone_fractions)
+    engines = sorted({row.engine for row in result.rows}) or [spec.engine]
+    out = EpidemicResult(
+        fractions=fractions,
+        n_values=tuple(spec.n_values),
+        repetitions=spec.seeds,
+        engine="/".join(engines),
+    )
+    for n in spec.n_values:
+        per_fraction: Dict[float, List[float]] = {f: [] for f in fractions}
+        for row in result.filter(n=n).rows:
+            if not row.converged:
+                raise ExperimentError(
+                    f"epidemic run for n={n} (seed {row.seed_index}) did "
+                    f"not inform every fraction within budget"
+                )
+            for fraction in fractions:
+                per_fraction[fraction].append(
+                    row.milestones[f"ranked_{fraction}"] / (n * math.log(n))
+                )
+        out.samples[n] = per_fraction
+    return out
+
+
+def format_epidemic(result: EpidemicResult) -> str:
+    """Text table: mean normalized times per fraction vs the Lemma 14 bound."""
+    rows = []
+    for n in result.n_values:
+        row = {"n": n}
+        for fraction in result.fractions:
+            row[f"frac {fraction}"] = result.mean(n, fraction)
+        row["lemma14 bound"] = result.bound(n)
+        rows.append(row)
+    header = (
+        f"One-way epidemic — interactions / (n·ln n) to inform fractions "
+        f"of the agents ({result.engine} engine, {result.repetitions} runs "
+        f"per n); 'lemma14 bound' is the Lemma 14 completion bound at γ=1 "
+        f"on the same scale, which the 'frac 1.0' column must stay below"
+    )
+    return header + "\n" + format_table(rows)

@@ -55,6 +55,7 @@ from ..core import backends as _backends
 from ..core.array_engine import EngineCache
 from ..core.errors import ExperimentError
 from ..core.metrics import MetricsCollector, standard_ranking_probes
+from ..protocols.primitives.one_way_epidemic import OneWayEpidemicProtocol
 from ..protocols.ranking.aggregate_space_efficient import (
     AggregateSpaceEfficientRanking,
 )
@@ -101,6 +102,7 @@ PROTOCOLS: Dict[str, Callable] = {
     "burman-style-ranking": BurmanStyleRanking,
     "cai-ranking": CaiRanking,
     "token-counter-ranking": TokenCounterRanking,
+    "one-way-epidemic": OneWayEpidemicProtocol,
 }
 
 #: Workload (initial configuration) builders by name; each takes
@@ -195,10 +197,19 @@ class ExperimentSpec:
         can be extended in place (see ``identity_dict``).
     engine:
         A backend name from :mod:`repro.core.backends` (``"reference"``,
-        ``"array"``, ``"aggregate"``) or ``"auto"`` (the default), which
-        resolves each cell to the fastest backend whose
+        ``"array"``, ``"aggregate"``, ``"group"``) or ``"auto"`` (the
+        default), which resolves each cell to the fastest backend whose
         :meth:`~repro.core.backends.Backend.capabilities` probe accepts
         it.  Rows record the *resolved* backend name.
+    exactness:
+        Optional exactness-class pin (``"trajectory"`` or
+        ``"distribution"``).  ``None`` (the default) accepts any class.
+        Pinning ``"distribution"`` lets ``engine="auto"`` route the
+        cell to the count-level engines even where an agent engine holds
+        the higher throughput hint — the declared intent is "this cell
+        measures a distribution, not a trajectory", which is what makes
+        million-agent sweeps tractable.  Rows record the resolved
+        capability's exactness class.
     workload:
         Key into :data:`WORKLOADS` — the initial-configuration family.
         When ``scenario`` is set this is the scenario's *initial
@@ -242,6 +253,7 @@ class ExperimentSpec:
     n_values: Tuple[int, ...] = (64,)
     seeds: int = 1
     engine: str = "auto"
+    exactness: Optional[str] = None
     workload: str = "fresh"
     scenario: Optional[str] = None
     scenario_params: Mapping[str, object] = field(default_factory=dict)
@@ -272,6 +284,11 @@ class ExperimentSpec:
                 f"unknown engine {self.engine!r}; expected one of "
                 f"{_backends.engine_choices()}"
             )
+        if self.exactness not in (None, "trajectory", "distribution"):
+            raise ExperimentError(
+                f"unknown exactness {self.exactness!r}; expected "
+                "'trajectory', 'distribution' or None"
+            )
         if self.protocol not in PROTOCOLS:
             raise ExperimentError(f"unknown protocol {self.protocol!r}")
         if self.workload not in WORKLOADS:
@@ -290,10 +307,12 @@ class ExperimentSpec:
         # (raises ExperimentError with the backend's reason otherwise).
         # ``engine="auto"`` needs no validation pass — the reference
         # backend supports every agent-level cell, so auto resolution
-        # cannot fail.  The pass is memoized per process: worker-side
+        # cannot fail — unless an exactness class is pinned, which can
+        # leave no capable backend and must fail at spec construction,
+        # not mid-study.  The pass is memoized per process: worker-side
         # ``from_dict`` round-trips happen once per *cell*, and rebuilding
         # the whole protocol matrix each time would dominate small cells.
-        if self.engine != _backends.AUTO_ENGINE:
+        if self.engine != _backends.AUTO_ENGINE or self.exactness is not None:
             memo_key = (self.identity_seed(), self.n_values)
             if memo_key not in _VALIDATED_MATRICES:
                 for n in self.n_values:
@@ -333,9 +352,9 @@ class ExperimentSpec:
     def as_dict(self) -> dict:
         """The full spec as JSON-ready data (matrix extent included).
 
-        The ``scenario`` keys appear only for event-bearing scenarios, so
-        legacy (workload-only) specs serialize — and hash — exactly as
-        they did before scenarios existed.
+        The ``scenario`` keys appear only for event-bearing scenarios,
+        and ``exactness`` only when pinned, so legacy specs serialize —
+        and hash — exactly as they did before those fields existed.
         """
         payload = {
             "variant": self.variant,
@@ -356,6 +375,8 @@ class ExperimentSpec:
         if self.scenario is not None:
             payload["scenario"] = self.scenario
             payload["scenario_params"] = dict(self.scenario_params)
+        if self.exactness is not None:
+            payload["exactness"] = self.exactness
         return payload
 
     @classmethod
@@ -422,7 +443,9 @@ class ExperimentSpec:
         through each backend's
         :meth:`~repro.core.backends.Backend.capabilities` probe.  The
         resolution is a pure function of the spec and ``n``, so parallel
-        workers resolve identically to a serial run.
+        workers resolve identically to a serial run.  Extractor-bearing
+        specs read the final agent-level configuration, so they are
+        restricted to agent backends.
         """
         return _backends.resolve_backend(
             self.build_protocol(n),
@@ -432,6 +455,8 @@ class ExperimentSpec:
             series=self.samples > 0,
             events=self.has_events(n),
             stop_on_convergence=self.stop_on_convergence,
+            kinds=("agent",) if self.extractors else None,
+            exactness=self.exactness,
         )
 
     def resolve_backend(self, n: int) -> str:
@@ -455,6 +480,9 @@ class RunRow:
     converged: bool
     interactions: int
     resets: int
+    #: Exactness class of the backend that served the cell
+    #: (``"trajectory"`` or ``"distribution"``; empty in legacy rows).
+    exactness: str = ""
     extras: Dict[str, float] = field(default_factory=dict)
     #: milestone name → first interaction count at which it held.
     milestones: Dict[str, int] = field(default_factory=dict)
@@ -483,6 +511,7 @@ class RunRow:
             "converged": self.converged,
             "interactions": self.interactions,
             "resets": self.resets,
+            "exactness": self.exactness,
             "extras": dict(self.extras),
             "milestones": dict(self.milestones),
             "series": self.series,
@@ -501,6 +530,7 @@ class RunRow:
             converged=bool(payload["converged"]),
             interactions=int(payload["interactions"]),
             resets=int(payload["resets"]),
+            exactness=str(payload.get("exactness", "")),
             extras=dict(payload.get("extras", {})),
             milestones={
                 name: int(value)
@@ -522,6 +552,7 @@ class RunRow:
             "interactions": self.interactions,
             "normalized_interactions": self.normalized_interactions,
             "resets": self.resets,
+            "exactness": self.exactness,
         }
         row.update(self.extras)
         row.update(self.milestones)
@@ -670,7 +701,7 @@ def execute_cell(spec_payload: Mapping, n: int, seed_index: int) -> dict:
     spec = ExperimentSpec.from_dict(dict(spec_payload))
     workload_seq, run_seq, events_seq = _cell_rng_sequences(spec, n, seed_index)
     protocol = spec.build_protocol(n)
-    backend, _capability = _backends.resolve_backend(
+    backend, capability = _backends.resolve_backend(
         protocol,
         spec.workload,
         n,
@@ -678,16 +709,25 @@ def execute_cell(spec_payload: Mapping, n: int, seed_index: int) -> dict:
         series=spec.samples > 0,
         events=spec.has_events(n),
         stop_on_convergence=spec.stop_on_convergence,
+        kinds=("agent",) if spec.extractors else None,
+        exactness=spec.exactness,
     )
     if backend.kind == "aggregate":
-        return _execute_aggregate(spec, n, seed_index, run_seq, backend)
+        return _execute_aggregate(spec, n, seed_index, run_seq, backend,
+                                  capability)
+    if backend.kind == "count":
+        return _execute_group(
+            spec, protocol, n, seed_index, workload_seq, run_seq, backend,
+            capability,
+        )
     return _execute_agent_level(
         spec, protocol, n, seed_index, workload_seq, run_seq, events_seq,
-        backend,
+        backend, capability,
     )
 
 
-def _execute_aggregate(spec, n, seed_index, run_seq, backend) -> dict:
+def _execute_aggregate(spec, n, seed_index, run_seq, backend,
+                       capability) -> dict:
     simulator = AggregateSpaceEfficientRanking(
         n,
         random_state=np.random.default_rng(run_seq),
@@ -705,6 +745,91 @@ def _execute_aggregate(spec, n, seed_index, run_seq, backend) -> dict:
         converged=outcome.converged,
         interactions=outcome.interactions,
         resets=0,
+        exactness=capability.exactness,
+        milestones={
+            name: int(value) for name, value in outcome.milestones.items()
+        },
+    )
+    return row.as_dict()
+
+
+#: Per-process shared group-transition tabulations, keyed by
+#: (spec identity, n): every seed of one variant replays the same
+#: reachable state space, so the lazily tabulated productive-transition
+#: model is shared exactly like the array engine's ``EngineCache``.
+_GROUP_MODELS: Dict[tuple, "object"] = {}
+
+
+def _execute_group(
+    spec, protocol, n, seed_index, workload_seq, run_seq, backend, capability
+) -> dict:
+    """Run one cell on the group-count engine (exact lumped count process).
+
+    The initial counts come from the protocol's
+    :meth:`~repro.core.protocol.PopulationProtocol.count_profile` when the
+    workload is the designated fresh start (no ``n`` state objects are
+    ever materialized — the point at ``n = 10^6``); any other workload
+    builds its agent-level configuration once and collapses it to counts.
+    Milestones are ranked-fraction thresholds over the goal's measure,
+    recorded at the exact interaction count of the crossing event.
+    """
+    from ..core.group_engine import GroupCountSimulator
+
+    model_key = (spec.identity_seed(), n)
+    model = _GROUP_MODELS.get(model_key)
+
+    state_counts = None
+    configuration = None
+    if spec.workload == "fresh" and not spec.workload_params:
+        state_counts = protocol.count_profile()
+    if state_counts is None:
+        configuration = WORKLOADS[spec.workload](
+            protocol, np.random.default_rng(workload_seq),
+            **spec.workload_params,
+        )
+        if configuration is None:
+            configuration = protocol.initial_configuration()
+
+    simulator = GroupCountSimulator(
+        protocol,
+        configuration=configuration,
+        state_counts=state_counts,
+        model=model,
+        random_state=np.random.default_rng(run_seq),
+    )
+    if model is None:
+        _GROUP_MODELS[model_key] = simulator.model
+
+    budget = int(spec.max_interactions_factor * n * n)
+    milestones: Optional[Dict[str, int]] = None
+    if spec.milestone_fractions:
+        target = simulator.goal.target()
+        milestones = {
+            f"ranked_{fraction}": int(math.ceil(fraction * target))
+            for fraction in spec.milestone_fractions
+        }
+    outcome = simulator.run(max_interactions=budget, milestones=milestones)
+    if spec.milestone_fractions:
+        # Match the agent-level milestone contract: the row converges
+        # when every requested fraction was reached within budget.
+        converged = len(outcome.milestones) == len(spec.milestone_fractions)
+    else:
+        converged = outcome.converged
+    row = RunRow(
+        study="",
+        variant=spec.variant,
+        protocol=protocol.name,
+        engine=backend.name,
+        n=n,
+        seed_index=seed_index,
+        converged=converged,
+        interactions=outcome.interactions,
+        resets=0,
+        exactness=capability.exactness,
+        extras={
+            "events": float(outcome.events),
+            "distinct_states": float(outcome.distinct_states),
+        },
         milestones={
             name: int(value) for name, value in outcome.milestones.items()
         },
@@ -713,7 +838,8 @@ def _execute_aggregate(spec, n, seed_index, run_seq, backend) -> dict:
 
 
 def _execute_agent_level(
-    spec, protocol, n, seed_index, workload_seq, run_seq, events_seq, backend
+    spec, protocol, n, seed_index, workload_seq, run_seq, events_seq, backend,
+    capability,
 ) -> dict:
     configuration = WORKLOADS[spec.workload](
         protocol, np.random.default_rng(workload_seq), **spec.workload_params
@@ -825,6 +951,7 @@ def _execute_agent_level(
         converged=row_converged,
         interactions=interactions,
         resets=resets,
+        exactness=capability.exactness,
         extras=extras,
         milestones=milestones,
         series=series,

@@ -20,9 +20,11 @@ from dataclasses import dataclass
 import numpy as np
 
 from ...core.configuration import Configuration
+from ...core.group_engine import CountGoal
 from ...core.protocol import PopulationProtocol, TransitionResult
 
 __all__ = [
+    "EpidemicCountGoal",
     "EpidemicState",
     "OneWayEpidemicKernel",
     "OneWayEpidemicProtocol",
@@ -128,9 +130,49 @@ class OneWayEpidemicProtocol(PopulationProtocol[EpidemicState]):
     def codec_fields(self):
         return ("informed", "active")
 
+    def count_goal(self, codec):
+        """Completion over counts: every active agent is informed."""
+        return EpidemicCountGoal()
+
+    def count_profile(self):
+        """The three distinct states of the designated initial configuration."""
+        profile = [(EpidemicState(informed=True, active=True), 1)]
+        if self._m > 1:
+            profile.append((EpidemicState(informed=False, active=True), self._m - 1))
+        if self.n > self._m:
+            profile.append(
+                (EpidemicState(informed=False, active=False), self.n - self._m)
+            )
+        return profile
+
     def vectorized_kernel(self, codec):
         """The epidemic SoA kernel — the simplest exemplar of the hook."""
         return OneWayEpidemicKernel()
+
+
+class EpidemicCountGoal(CountGoal):
+    """Epidemic completion read off state counts.
+
+    ``measure()`` counts informed active agents, ``target()`` the active
+    subpopulation — both linear in the counts, and the number of active
+    agents is invariant under the transition, so the target is constant.
+    """
+
+    def __init__(self):
+        self._informed_active = 0
+        self._active = 0
+
+    def on_count(self, state: EpidemicState, delta: int) -> None:
+        if state.active:
+            self._active += delta
+            if state.informed:
+                self._informed_active += delta
+
+    def measure(self) -> int:
+        return self._informed_active
+
+    def target(self) -> int:
+        return self._active
 
 
 class OneWayEpidemicKernel:

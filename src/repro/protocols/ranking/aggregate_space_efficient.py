@@ -70,9 +70,27 @@ class AggregateSpaceEfficientRanking(EventDrivenSimulator):
         self._schedule = PhaseSchedule(n)
         self._wait_init = wait_count_init(n, c_wait)
 
+        # Precomputed schedule tables and interned event-key strings: the
+        # event loop runs ~3n times per execution, so per-event method calls
+        # and f-string construction dominate at large n without these.
+        phase_count = self._schedule.phase_count
+        self._phase_limit = phase_count
+        self._f = [0] * (phase_count + 2)
+        for phase in range(1, phase_count + 2):
+            self._f[phase] = self._schedule.f(phase)
+        self._rpp = [0] * (phase_count + 1)
+        for phase in range(1, phase_count + 1):
+            self._rpp[phase] = self._schedule.ranks_per_phase(phase)
+        self._assign_keys = [f"assign:{p}" for p in range(phase_count + 1)]
+        self._bump_keys = [f"bump:{p}" for p in range(phase_count + 1)]
+        self._join_keys = [f"convert_join:{p}" for p in range(phase_count + 1)]
+        self._merge_keys: Dict[tuple, str] = {}
+        self._event_thunks: Dict[str, object] = {}
+
         # Figure 3 initial configuration.
         self._unconverted = n - 1
         self._phase_counts: Dict[int, int] = {}
+        self._total_phase = 0
         self._leader_mode = "rank"
         self._leader_rank = 1
         self._leader_wait = 0
@@ -89,6 +107,7 @@ class AggregateSpaceEfficientRanking(EventDrivenSimulator):
         simulator = cls(n, c_wait=c_wait, random_state=random_state)
         simulator._unconverted = 0
         simulator._phase_counts = {1: n - 1}
+        simulator._total_phase = n - 1
         simulator._leader_mode = "wait"
         simulator._leader_wait = simulator._wait_init
         simulator._leader_rank = 0
@@ -127,54 +146,72 @@ class AggregateSpaceEfficientRanking(EventDrivenSimulator):
         return self.ranked_count() / self.n
 
     def is_done(self) -> bool:
-        return self.ranked_count() == self.n
+        return len(self._assigned) + (self._leader_mode == "rank") == self._n
 
     # ------------------------------------------------------------------
     # Event decomposition
     # ------------------------------------------------------------------
     def event_weights(self) -> Dict[str, float]:
         weights: Dict[str, float] = {}
-        schedule = self._schedule
         phase_counts = self._phase_counts
         unconverted = self._unconverted
-        ranked_others = len(self._assigned)
-        total_phase = sum(phase_counts.values())
+        assigned = self._assigned
+        f = self._f
+        phase_limit = self._phase_limit
 
-        if self._leader_mode == "rank":
-            rank = self._leader_rank
-            for phase, count in phase_counts.items():
-                if (
-                    phase <= schedule.phase_count
-                    and 1 <= rank <= schedule.ranks_per_phase(phase)
-                    and schedule.f(phase + 1) + rank not in self._assigned
-                ):
-                    weights[f"assign:{phase}"] = count
+        leader_ranked = self._leader_mode == "rank"
+        rank = self._leader_rank if leader_ranked and self._leader_rank >= 1 else 0
+        if leader_ranked:
             if unconverted:
                 weights["convert_by_leader"] = unconverted
         else:  # waiting leader
-            if total_phase:
-                weights["wait_tick"] = total_phase
+            if self._total_phase:
+                weights["wait_tick"] = self._total_phase
             if unconverted:
                 weights["convert_by_waiting"] = unconverted
 
-        # A phase-k agent meeting the holder of rank f_k advances its phase.
+        # One fused pass over the phase groups: the leader assigning to a
+        # phase-k agent, a phase-k agent meeting the holder of rank f_k
+        # (advancing its phase), and a leader-electing agent converted by a
+        # phase-k agent (Protocol 1, lines 7-9).
+        rpp = self._rpp
+        assign_keys = self._assign_keys
+        bump_keys = self._bump_keys
+        join_keys = self._join_keys
+        double_unconverted = 2 * unconverted
         for phase, count in phase_counts.items():
-            if phase < schedule.phase_count and schedule.f(phase) in self._assigned:
-                weights[f"bump:{phase}"] = count
+            if (
+                rank
+                and phase <= phase_limit
+                and rank <= rpp[phase]
+                and f[phase + 1] + rank not in assigned
+            ):
+                weights[assign_keys[phase]] = count
+            if phase < phase_limit and f[phase] in assigned:
+                weights[bump_keys[phase]] = count
+            if unconverted:
+                weights[join_keys[phase]] = double_unconverted * count
 
         # Two phase agents with different phases adopt the maximum.
-        phases = sorted(phase_counts)
-        for i, low in enumerate(phases):
-            for high in phases[i + 1:]:
-                weights[f"merge:{low}:{high}"] = 2 * phase_counts[low] * phase_counts[high]
+        if len(phase_counts) > 1:
+            phases = sorted(phase_counts)
+            merge_keys = self._merge_keys
+            for i, low in enumerate(phases):
+                count_low = phase_counts[low]
+                for high in phases[i + 1:]:
+                    pair = (low, high)
+                    key = merge_keys.get(pair)
+                    if key is None:
+                        key = f"merge:{low}:{high}"
+                        merge_keys[pair] = key
+                    weights[key] = 2 * count_low * phase_counts[high]
 
         if unconverted:
-            # Conversions of leader-electing agents (Protocol 1, lines 7-9),
-            # split by the same-interaction follow-up they trigger.
-            for phase, count in phase_counts.items():
-                weights[f"convert_join:{phase}"] = 2 * unconverted * count
+            # Conversions by ranked agents and the remaining leader-electing
+            # pool, split by the same-interaction follow-up they trigger.
+            ranked_others = len(assigned)
             weights["convert_plain"] = unconverted * (ranked_others + 1)
-            bumper = 1 if self.n in self._assigned else 0
+            bumper = 1 if self.n in assigned else 0
             if bumper:
                 weights["convert_bumped"] = unconverted * bumper
             remaining = ranked_others - bumper
@@ -186,44 +223,73 @@ class AggregateSpaceEfficientRanking(EventDrivenSimulator):
     # Event application
     # ------------------------------------------------------------------
     def apply_event(self, name: str) -> None:
+        thunk = self._event_thunks.get(name)
+        if thunk is None:
+            thunk = self._compile_event(name)
+            self._event_thunks[name] = thunk
+        thunk()
+
+    def _compile_event(self, name: str):
+        """Parse an event name once and return a reusable applier thunk.
+
+        Event names are interned strings reused across events, so memoizing
+        the parse removes per-event ``str.split``/``int`` work from the loop.
+        """
         if name.startswith("assign:"):
-            self._apply_assignment(int(name.split(":")[1]))
-        elif name == "convert_by_leader":
-            self._unconverted -= 1
-            self._follow_up_leader_meets_new_phase_agent()
-        elif name == "convert_by_waiting":
-            self._unconverted -= 1
-            self._add_phase_agent(1)
-            self._tick_wait()
-        elif name == "wait_tick":
-            self._tick_wait()
-        elif name.startswith("bump:"):
             phase = int(name.split(":")[1])
-            self._remove_phase_agent(phase)
-            self._add_phase_agent(phase + 1)
-        elif name.startswith("merge:"):
-            _, low, high = name.split(":")
-            self._remove_phase_agent(int(low))
-            self._add_phase_agent(int(high))
-        elif name.startswith("convert_join:"):
+            return lambda: self._apply_assignment(phase)
+        if name == "convert_by_leader":
+            def convert_by_leader() -> None:
+                self._unconverted -= 1
+                self._follow_up_leader_meets_new_phase_agent()
+            return convert_by_leader
+        if name == "convert_by_waiting":
+            def convert_by_waiting() -> None:
+                self._unconverted -= 1
+                self._add_phase_agent(1)
+                self._tick_wait()
+            return convert_by_waiting
+        if name == "wait_tick":
+            return self._tick_wait
+        if name.startswith("bump:"):
             phase = int(name.split(":")[1])
-            self._unconverted -= 1
-            self._add_phase_agent(phase)
-        elif name in ("convert_plain", "convert_plain_responder"):
-            self._unconverted -= 1
-            self._add_phase_agent(1)
-        elif name == "convert_bumped":
-            self._unconverted -= 1
-            self._add_phase_agent(2)
-        else:  # pragma: no cover - defensive
-            raise ConfigurationError(f"unknown aggregate event {name!r}")
+            def bump() -> None:
+                self._remove_phase_agent(phase)
+                self._add_phase_agent(phase + 1)
+            return bump
+        if name.startswith("merge:"):
+            _, low_text, high_text = name.split(":")
+            low, high = int(low_text), int(high_text)
+            def merge() -> None:
+                self._remove_phase_agent(low)
+                self._add_phase_agent(high)
+            return merge
+        if name.startswith("convert_join:"):
+            phase = int(name.split(":")[1])
+            def convert_join() -> None:
+                self._unconverted -= 1
+                self._add_phase_agent(phase)
+            return convert_join
+        if name in ("convert_plain", "convert_plain_responder"):
+            def convert_plain() -> None:
+                self._unconverted -= 1
+                self._add_phase_agent(1)
+            return convert_plain
+        if name == "convert_bumped":
+            def convert_bumped() -> None:
+                self._unconverted -= 1
+                self._add_phase_agent(2)
+            return convert_bumped
+        raise ConfigurationError(f"unknown aggregate event {name!r}")
 
     # ------------------------------------------------------------------
     # Internal state updates
     # ------------------------------------------------------------------
     def _add_phase_agent(self, phase: int) -> None:
-        phase = min(phase, self._schedule.phase_count)
+        if phase > self._phase_limit:
+            phase = self._phase_limit
         self._phase_counts[phase] = self._phase_counts.get(phase, 0) + 1
+        self._total_phase += 1
 
     def _remove_phase_agent(self, phase: int) -> None:
         count = self._phase_counts.get(phase, 0)
@@ -233,6 +299,7 @@ class AggregateSpaceEfficientRanking(EventDrivenSimulator):
             del self._phase_counts[phase]
         else:
             self._phase_counts[phase] = count - 1
+        self._total_phase -= 1
 
     def _tick_wait(self) -> None:
         self._leader_wait -= 1
@@ -242,9 +309,8 @@ class AggregateSpaceEfficientRanking(EventDrivenSimulator):
 
     def _apply_assignment(self, phase: int) -> None:
         """The unaware leader assigns the next rank of ``phase`` (lines 4-9)."""
-        schedule = self._schedule
-        boundary = schedule.ranks_per_phase(phase)
-        assigned_rank = schedule.f(phase + 1) + self._leader_rank
+        boundary = self._rpp[phase]
+        assigned_rank = self._f[phase + 1] + self._leader_rank
         if assigned_rank in self._assigned:  # pragma: no cover - guarded by event_weights
             raise ConfigurationError(
                 f"rank {assigned_rank} would be assigned twice (phase {phase})"
@@ -253,7 +319,7 @@ class AggregateSpaceEfficientRanking(EventDrivenSimulator):
         self._assigned.add(assigned_rank)
         if self._leader_rank < boundary:
             self._leader_rank += 1
-        elif phase < schedule.phase_count:
+        elif phase < self._phase_limit:
             self._leader_mode = "wait"
             self._leader_wait = self._wait_init
             self._leader_rank = 0
@@ -266,14 +332,13 @@ class AggregateSpaceEfficientRanking(EventDrivenSimulator):
         conversion of lines 7-9, so when the leader initiated the conversion
         it may directly assign a rank to the fresh phase-1 agent.
         """
-        schedule = self._schedule
-        boundary = schedule.ranks_per_phase(1)
+        boundary = self._rpp[1]
         rank = self._leader_rank
-        if 1 <= rank <= boundary and schedule.f(2) + rank not in self._assigned:
-            self._assigned.add(schedule.f(2) + rank)
+        if 1 <= rank <= boundary and self._f[2] + rank not in self._assigned:
+            self._assigned.add(self._f[2] + rank)
             if rank < boundary:
                 self._leader_rank += 1
-            elif schedule.phase_count > 1:
+            elif self._phase_limit > 1:
                 self._leader_mode = "wait"
                 self._leader_wait = self._wait_init
                 self._leader_rank = 0

@@ -73,6 +73,30 @@ class TestEventDrivenSimulator:
         assert not result.converged
         assert result.interactions >= 50
 
+    def test_budget_is_never_overshot(self):
+        """Regression: a geometric waiting time that overshoots the budget
+        must clamp ``interactions`` to the budget without applying the event.
+        """
+        for seed in range(25):
+            simulator = CollectorSimulator(200, random_state=seed)
+            budget = 37
+            result = simulator.run(max_interactions=budget)
+            assert result.interactions <= budget
+            # Every applied event consumed at least one interaction, so the
+            # clamped run can never report more events than interactions.
+            assert result.events <= result.interactions
+
+    def test_step_event_limit_clamps_without_applying(self):
+        simulator = CollectorSimulator(1000, random_state=3)
+        before = simulator.remaining
+        # With 999 productive pairs out of 999000 ordered pairs the first
+        # waiting time is ~1000 interactions, far past a limit of 2.
+        applied = simulator.step_event(limit=2)
+        assert applied is None
+        assert simulator.interactions == 2
+        assert simulator.events == 0
+        assert simulator.remaining == before
+
     def test_dead_configuration_stops(self):
         class Dead(CollectorSimulator):
             def event_weights(self):

@@ -15,9 +15,11 @@ from repro.protocols.ranking.stable_ranking import StableRanking
 
 class TestRegistry:
     def test_builtin_backends_are_registered(self):
-        assert backends.backend_names() == ("reference", "array", "aggregate")
+        assert backends.backend_names() == (
+            "reference", "array", "aggregate", "group",
+        )
         assert backends.engine_choices() == (
-            "reference", "array", "aggregate", "auto",
+            "reference", "array", "aggregate", "group", "auto",
         )
 
     def test_get_backend(self):
@@ -33,6 +35,7 @@ class TestRegistry:
         assert backends.get_backend("reference").kind == "agent"
         assert backends.get_backend("array").kind == "agent"
         assert backends.get_backend("aggregate").kind == "aggregate"
+        assert backends.get_backend("group").kind == "count"
 
 
 class TestCapabilities:
@@ -68,6 +71,38 @@ class TestCapabilities:
             SpaceEfficientRanking(8), "figure3", 8, series=True
         )
         assert not with_series.supported
+
+    def test_group_negotiates_from_declarations(self):
+        from repro.protocols.primitives.one_way_epidemic import (
+            OneWayEpidemicProtocol,
+        )
+
+        group = backends.get_backend("group")
+        # Deterministic protocol with a count goal: supported everywhere,
+        # but the hint only beats the agent engines for a compact declared
+        # state space at large n.
+        small = group.capabilities(OneWayEpidemicProtocol(8), "fresh", 8)
+        assert small.supported and small.exactness == "distribution"
+        assert small.throughput_hint < 1.0
+        large = group.capabilities(
+            OneWayEpidemicProtocol(10**6), "fresh", 10**6
+        )
+        assert large.throughput_hint > backends.ArrayBackend.HINT_TABULATED
+        # Undeclared or rng-consuming transitions cannot be lumped exactly.
+        rng_consuming = group.capabilities(
+            TokenCounterRanking(8), "fresh", 8
+        )
+        assert not rng_consuming.supported
+        assert "consumes_randomness" in rng_consuming.reason
+        # Series and mid-run events are agent-level features.
+        with_series = group.capabilities(
+            OneWayEpidemicProtocol(8), "fresh", 8, series=True
+        )
+        assert not with_series.supported
+        with_events = group.capabilities(
+            OneWayEpidemicProtocol(8), "fresh", 8, events=True
+        )
+        assert not with_events.supported
 
 
 class TestResolution:
@@ -130,11 +165,54 @@ class TestResolution:
                 kinds=("agent",),
             )
 
+    def test_auto_routes_large_compact_cells_to_group(self):
+        from repro.protocols.primitives.one_way_epidemic import (
+            OneWayEpidemicProtocol,
+        )
+
+        backend, capability = backends.resolve_backend(
+            OneWayEpidemicProtocol(10**6), "fresh", 10**6, engine="auto"
+        )
+        assert backend.name == "group"
+        assert capability.exactness == "distribution"
+        # At small n the agent engines keep the cell.
+        backend, _ = backends.resolve_backend(
+            OneWayEpidemicProtocol(64), "fresh", 64, engine="auto"
+        )
+        assert backend.name != "group"
+
+    def test_exactness_pin_filters_auto_and_rejects_mismatches(self):
+        from repro.protocols.primitives.one_way_epidemic import (
+            OneWayEpidemicProtocol,
+        )
+
+        # The pin routes a small cell to the group engine even though the
+        # array engine holds the higher hint.
+        backend, capability = backends.resolve_backend(
+            OneWayEpidemicProtocol(64), "fresh", 64, engine="auto",
+            exactness="distribution",
+        )
+        assert backend.name == "group"
+        assert capability.exactness == "distribution"
+        # A concrete engine of the wrong class is rejected outright.
+        with pytest.raises(ExperimentError, match="exactness"):
+            backends.resolve_backend(
+                OneWayEpidemicProtocol(64), "fresh", 64,
+                engine="reference", exactness="distribution",
+            )
+        # A pin no backend can satisfy fails with the requirement named.
+        with pytest.raises(ExperimentError, match="distribution"):
+            backends.resolve_backend(
+                TokenCounterRanking(8), "fresh", 8, engine="auto",
+                exactness="distribution",
+            )
+
     def test_capability_matrix_covers_all_backends(self):
         matrix = backends.capability_matrix(StableRanking(8), "fresh", 8)
-        assert set(matrix) == {"reference", "array", "aggregate"}
+        assert set(matrix) == {"reference", "array", "aggregate", "group"}
         assert matrix["array"].supported
         assert not matrix["aggregate"].supported
+        assert matrix["group"].supported
 
 
 class TestMakeSimulatorAuto:

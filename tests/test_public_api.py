@@ -84,10 +84,14 @@ def test_backend_registry_is_exported():
         "engine_choices",
         "capability_matrix",
         "ProbeClassTable",
+        "GroupCountSimulator",
+        "CountGoal",
     ):
         assert name in repro.core.__all__
         assert hasattr(repro.core, name)
-    assert repro.core.backend_names() == ("reference", "array", "aggregate")
+    assert repro.core.backend_names() == (
+        "reference", "array", "aggregate", "group",
+    )
     assert repro.core.engine_choices()[-1] == "auto"
     # The Cai baseline is reachable under both spellings.
     assert repro.baselines.CaiStyleRanking is repro.baselines.CaiRanking
