@@ -29,6 +29,13 @@ engine speedups from the recorded timings:
     protocol-provided SoA kernel (the default) and with
     ``use_soa_kernel=False`` (tagged ``array-nokernel``), which isolates
     the kernel's contribution on the walk-bound mid-run regime.
+``stable_ranking_study_cell``
+    A many-seed StableRanking n=128 study cell (100 seeds under
+    ``REPRO_BENCH_FULL=1``, 32 otherwise) to convergence — measured
+    per-seed on the array engine (the pre-batching study behaviour, cold
+    cache), as one cold lockstep batch on the batched replica engine,
+    and as a warm-cache batch (the amortized steady state).  These rows
+    back the batched engine's wall-clock claims in ``docs/benchmarks.md``.
 ``stable_ranking_tail``
     The stabilization tail (population ranked down to the last two agents),
     which dominates the ``Θ(n² log n)`` total of paper-scale runs and is
@@ -45,6 +52,8 @@ engine speedups from the recorded timings:
     declared object fallback, so its pair documents the fallback's cost
     rather than a speedup.
 """
+
+import os
 
 import numpy as np
 
@@ -324,6 +333,103 @@ def test_array_engine_tail_throughput(benchmark):
         n=STABLE_N,
         interactions=TAIL_INTERACTIONS,
     )
+
+
+# ----------------------------------------------------------------------
+# StableRanking n=128: the many-seed study cell (batched replica engine)
+# ----------------------------------------------------------------------
+# The batched engine's target shape: one study cell = many seeds of one
+# (protocol, n) coordinate.  Per-seed serial execution re-walks the pair
+# table once per seed; the batched engine advances every seed in lockstep
+# over ONE table walk, so the per-step Python dispatch and the one-time
+# transition tabulation amortize across the whole group.  Three rows:
+#
+# ``array``             the pre-batching study behaviour — a fresh cache,
+#                       then one ArraySimulator per seed (cold tabulation
+#                       paid inside the measured round, like a worker
+#                       process meeting the cell for the first time);
+# ``array-batched``     the same seeds as one cold lockstep batch;
+# ``array-batched-warm`` the batch against a pre-warmed shared cache —
+#                       the amortized steady state repeated sweeps reach,
+#                       and the engine's zero-tabulation floor.
+#
+# Tabulation is irreducible per-pair Python (the packed entries carry
+# exact rank values), so the cold speedup is bounded by the warm row; see
+# docs/benchmarks.md for the measured floor analysis.
+STUDY_SEED_COUNT = (
+    100
+    if os.environ.get("REPRO_BENCH_FULL", "0") not in ("", "0", "false", "no")
+    else 32
+)
+STUDY_BUDGET = 200 * STABLE_N * STABLE_N
+
+
+def _study_cell_seeds():
+    return list(range(2000, 2000 + STUDY_SEED_COUNT))
+
+
+def _run_study_cell_serial(cache):
+    for seed in _study_cell_seeds():
+        result = ArraySimulator(
+            StableRanking(STABLE_N),
+            random_state=seed,
+            cache=cache,
+            convergence_interval=STABLE_N,
+        ).run(max_interactions=STUDY_BUDGET)
+        assert result.converged
+
+
+def _run_study_cell_batched(cache):
+    from repro.core.batched_engine import BatchedArraySimulator
+
+    simulator = BatchedArraySimulator(
+        [StableRanking(STABLE_N) for _ in range(STUDY_SEED_COUNT)],
+        random_states=[
+            np.random.default_rng(seed) for seed in _study_cell_seeds()
+        ],
+        cache=cache,
+        convergence_interval=STABLE_N,
+    )
+    results = simulator.run(STUDY_BUDGET)
+    assert all(result.converged for result in results)
+
+
+def _tag_study_cell(benchmark, engine):
+    _tag(
+        benchmark,
+        workload="stable_ranking_study_cell",
+        engine=engine,
+        protocol="stable-ranking",
+        n=STABLE_N,
+    )
+    benchmark.extra_info["seeds"] = STUDY_SEED_COUNT
+
+
+def test_study_cell_per_seed_array(benchmark):
+    """The 100-seed cell as the study ran it before batching existed."""
+    benchmark.pedantic(
+        lambda: _run_study_cell_serial(EngineCache()), rounds=1, iterations=1
+    )
+    _tag_study_cell(benchmark, "array")
+
+
+def test_study_cell_batched_cold(benchmark):
+    """The same cell as one lockstep batch, tabulating from scratch."""
+    benchmark.pedantic(
+        lambda: _run_study_cell_batched(EngineCache()), rounds=1, iterations=1
+    )
+    _tag_study_cell(benchmark, "array-batched")
+
+
+def test_study_cell_batched_warm(benchmark):
+    """The batch against a shared warm cache — the amortized floor."""
+    cache = EngineCache()
+    _run_study_cell_batched(cache)
+
+    benchmark.pedantic(
+        lambda: _run_study_cell_batched(cache), rounds=2, iterations=1
+    )
+    _tag_study_cell(benchmark, "array-batched-warm")
 
 
 # ----------------------------------------------------------------------

@@ -223,6 +223,9 @@ class _DenseKernel:
         )
         codes = np.arange(size, dtype=np.int64)
         keys = (codes[:, None] << _CODE_BITS) | codes[None, :]
+        #: Complete packed-outcome matrix, kept for the batched engine's
+        #: lockstep gather (``packed.ravel()[a * size + b]``).
+        self.packed = packed
         #: Scalar-probe view of the same tables, used by the ordered walk.
         self.pair_dict: Dict[int, int] = dict(
             zip(keys.ravel().tolist(), packed.ravel().tolist())

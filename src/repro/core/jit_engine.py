@@ -1,0 +1,149 @@
+"""Optional numba-compiled variant of the array engine's chunk loops.
+
+The array engine's table paths are numpy-vectorized but still pay Python
+dispatch per chunk step; with `numba <https://numba.pydata.org/>`_
+available, the innermost dense-table walk compiles to one native loop
+over the whole chunk.  numba is an *optional* dependency: this module
+imports it lazily and degrades explicitly —
+:func:`numba_unavailable_reason` answers why compilation is off (the
+backend registry surfaces that as its capability reason), and
+:class:`JitArraySimulator` falls back to the plain
+:class:`~repro.core.array_engine.ArraySimulator` behaviour rather than
+letting an ``ImportError`` escape, so environments without numba (CI's
+``no-numba`` leg, minimal installs) lose only speed, never runs.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from .array_engine import (
+    _CHANGED_BIT,
+    _CODE_MASK,
+    _CODE_BITS,
+    _RANK_FIELD,
+    _RESET_BIT,
+    ArraySimulator,
+)
+
+__all__ = [
+    "JitArraySimulator",
+    "numba_available",
+    "numba_unavailable_reason",
+]
+
+#: Memoized import outcome: ``None`` until probed, then ``(module, reason)``
+#: with exactly one of the two set.
+_NUMBA_PROBE: Optional[tuple] = None
+
+
+def _probe_numba():
+    global _NUMBA_PROBE
+    if _NUMBA_PROBE is None:
+        try:
+            import numba
+        except Exception as exc:  # ImportError, or a broken install
+            _NUMBA_PROBE = (None, f"numba is not installed ({exc.__class__.__name__})")
+        else:
+            _NUMBA_PROBE = (numba, None)
+    return _NUMBA_PROBE
+
+
+def numba_available() -> bool:
+    """Whether the compiled chunk loops can be built in this process."""
+    return _probe_numba()[0] is not None
+
+
+def numba_unavailable_reason() -> Optional[str]:
+    """Why compilation is unavailable, or ``None`` when numba imports."""
+    module, reason = _probe_numba()
+    if module is not None:
+        return None
+    return "numba is not installed"
+
+
+#: Memoized compiled kernel (compilation is paid once per process).
+_COMPILED_DENSE_LOOP = None
+
+
+def _dense_chunk_loop():
+    """Compile (once) the dense-mode chunk walk as a native loop.
+
+    The loop mirrors ``ArraySimulator._advance``'s dense path exactly:
+    for each ordered pair, look up the packed transition, write both next
+    codes, and accumulate the changed/rank/reset flags — the same packed
+    layout (:data:`_CODE_MASK`, :data:`_CHANGED_BIT`, :data:`_RANK_FIELD`,
+    :data:`_RESET_BIT`), so trajectories stay bit-identical.
+    """
+    global _COMPILED_DENSE_LOOP
+    if _COMPILED_DENSE_LOOP is not None:
+        return _COMPILED_DENSE_LOOP
+    numba, _ = _probe_numba()
+    if numba is None:
+        return None
+
+    @numba.njit(cache=False)
+    def dense_loop(codes, initiators, responders, packed, size):
+        changed = False
+        ranks = 0
+        resets = 0
+        for index in range(len(initiators)):
+            i = initiators[index]
+            j = responders[index]
+            value = packed[codes[i] * size + codes[j]]
+            codes[i] = value & _CODE_MASK
+            codes[j] = (value >> _CODE_BITS) & _CODE_MASK
+            if value & _CHANGED_BIT:
+                changed = True
+            if value & _RANK_FIELD:
+                ranks += 1
+            if value & _RESET_BIT:
+                resets += 1
+        return changed, ranks, resets
+
+    _COMPILED_DENSE_LOOP = dense_loop
+    return dense_loop
+
+
+class JitArraySimulator(ArraySimulator):
+    """:class:`ArraySimulator` with numba-compiled dense chunk walks.
+
+    Dense mode (complete packed tables) is where a native loop pays off:
+    the entire chunk becomes one compiled call with zero per-step Python —
+    applying every pair in order through the packed outcome matrix, which
+    is the dense walk's exact semantics (the parent's bulk eliminations
+    are optimizations with identical observable behaviour).  Lazy and
+    object modes inherit the parent paths unchanged — their cost is
+    dominated by tabulation and protocol Python, which compilation cannot
+    reach.  Without numba the class *is* the parent: construction
+    succeeds, every run takes the interpreted paths, and the only signal
+    is :func:`numba_available` (the backend registry reports the cell as
+    unsupported before it gets here, but direct construction must degrade
+    gracefully too).
+    """
+
+    def __init__(self, *args, **kwargs):
+        super().__init__(*args, **kwargs)
+        self._jit_loop = _dense_chunk_loop()
+
+    def _process_chunk(self, pairs) -> None:
+        loop = self._jit_loop
+        if loop is None or self._mode != "dense":
+            super()._process_chunk(pairs)
+            return
+        kernel = self._kernel
+        changed, ranks, resets = loop(
+            self._codes_np,
+            pairs[:, 0],
+            pairs[:, 1],
+            kernel.packed.reshape(-1),
+            kernel.packed.shape[0],
+        )
+        # The walk paths keep the Python code list as the canonical view;
+        # mirror the natively updated array back into it.
+        self._code_list = self._codes_np.tolist()
+        self._interactions += len(pairs)
+        self._rank_assignments += ranks
+        self._resets += resets
+        if changed:
+            self._changed_since_check = True

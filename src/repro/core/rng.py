@@ -12,7 +12,13 @@ from typing import Iterable, Optional, Sequence, Union
 
 import numpy as np
 
-__all__ = ["RandomState", "make_rng", "spawn_seeds", "spawn_rngs"]
+__all__ = [
+    "RandomState",
+    "make_rng",
+    "spawn_seeds",
+    "spawn_rngs",
+    "cell_seed_sequences",
+]
 
 #: Anything accepted where a source of randomness is expected.
 RandomState = Union[None, int, np.random.Generator, np.random.SeedSequence]
@@ -62,6 +68,25 @@ def spawn_seeds(random_state: RandomState, count: int) -> list[np.random.SeedSeq
 def spawn_rngs(random_state: RandomState, count: int) -> list[np.random.Generator]:
     """Return ``count`` independent generators derived from ``random_state``."""
     return [np.random.default_rng(seq) for seq in spawn_seeds(random_state, count)]
+
+
+def cell_seed_sequences(
+    identity_seed: int, n: int, seed_index: int, count: int = 3
+) -> list[np.random.SeedSequence]:
+    """``count`` independent seed sequences for one experiment cell.
+
+    The canonical derivation of a study cell's randomness from its
+    coordinates: entropy ``[identity_seed, n, seed_index]`` through
+    :class:`numpy.random.SeedSequence`, spawned into ``count`` children
+    (workload, run, events in the experiment layer's convention).  It is
+    deterministic and process-stable (unlike ``hash()``), which makes
+    parallel studies bit-identical to serial ones, and it depends only on
+    the cell's own coordinates — never on which cells run alongside it —
+    which is what lets the batched engine advance any subset of a cell
+    group with streams identical to per-seed serial execution.
+    """
+    base = np.random.SeedSequence([int(identity_seed), int(n), int(seed_index)])
+    return list(base.spawn(count))
 
 
 def geometric(rng: np.random.Generator, success_probability: float) -> int:

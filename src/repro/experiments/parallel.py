@@ -22,28 +22,40 @@ from __future__ import annotations
 import multiprocessing
 from typing import Callable, List, Optional, Sequence, Tuple
 
-from .study import execute_cell
+from .study import execute_batch, execute_cell
 
-__all__ = ["run_cells"]
+__all__ = ["run_cells", "run_units"]
 
-#: (spec payload dict, n, seed_index) — the unit of work shipped to workers.
+#: (spec payload dict, n, seed_index) — one cell shipped to a worker.
 CellArgs = Tuple[dict, int, int]
 
+#: Tagged work unit: ``("cell", payload, n, seed_index)`` runs one cell,
+#: ``("batch", payload, n, seed_indices)`` runs a whole same-spec seed
+#: group in lockstep on a batching backend.  A batch unit is indivisible —
+#: it ships to one worker, which is what lets the lanes share a process-
+#: local engine cache — but different units still fan out.
+UnitArgs = tuple
 
-def _execute(args: CellArgs) -> dict:
-    return execute_cell(*args)
+
+def _execute_unit(unit: UnitArgs) -> List[dict]:
+    kind = unit[0]
+    if kind == "batch":
+        _, payload, n, seed_indices = unit
+        return execute_batch(payload, n, list(seed_indices))
+    _, payload, n, seed_index = unit
+    return [execute_cell(payload, n, seed_index)]
 
 
-def run_cells(
-    cells: Sequence[CellArgs],
+def run_units(
+    units: Sequence[UnitArgs],
     jobs: int = 1,
     callback: Optional[Callable[[dict], None]] = None,
 ) -> List[dict]:
-    """Execute study cells, optionally across worker processes.
+    """Execute tagged work units, optionally across worker processes.
 
     Parameters
     ----------
-    cells:
+    units:
         The pending work units, in matrix order.
     jobs:
         ``1`` executes serially in this process (no multiprocessing
@@ -51,7 +63,8 @@ def run_cells(
         pool of that many workers.
     callback:
         Called with each finished row as soon as it is available (in
-        completion order under parallel execution).
+        completion order under parallel execution; rows of one batch
+        unit arrive together, in the unit's seed order).
 
     Returns
     -------
@@ -60,23 +73,36 @@ def run_cells(
         callers that need a canonical order sort by the rows' cell keys
         (the :class:`~repro.experiments.study.Study` does).
     """
-    cells = list(cells)
-    if not cells:
+    units = list(units)
+    if not units:
         return []
-    if jobs == 1 or len(cells) == 1:
+    if jobs == 1 or len(units) == 1:
         rows = []
-        for args in cells:
-            row = execute_cell(*args)
-            rows.append(row)
-            if callback is not None:
-                callback(row)
+        for unit in units:
+            for row in _execute_unit(unit):
+                rows.append(row)
+                if callback is not None:
+                    callback(row)
         return rows
 
     context = multiprocessing.get_context("spawn")
     rows = []
-    with context.Pool(processes=min(jobs, len(cells))) as pool:
-        for row in pool.imap_unordered(_execute, cells, chunksize=1):
-            rows.append(row)
-            if callback is not None:
-                callback(row)
+    with context.Pool(processes=min(jobs, len(units))) as pool:
+        for unit_rows in pool.imap_unordered(_execute_unit, units, chunksize=1):
+            for row in unit_rows:
+                rows.append(row)
+                if callback is not None:
+                    callback(row)
     return rows
+
+
+def run_cells(
+    cells: Sequence[CellArgs],
+    jobs: int = 1,
+    callback: Optional[Callable[[dict], None]] = None,
+) -> List[dict]:
+    """Execute bare (payload, n, seed) cells — see :func:`run_units`."""
+    return run_units(
+        [("cell",) + tuple(args) for args in cells], jobs=jobs,
+        callback=callback,
+    )

@@ -55,6 +55,7 @@ from ..core import backends as _backends
 from ..core.array_engine import EngineCache
 from ..core.errors import ExperimentError
 from ..core.metrics import MetricsCollector, standard_ranking_probes
+from ..core.rng import cell_seed_sequences
 from ..protocols.primitives.one_way_epidemic import OneWayEpidemicProtocol
 from ..protocols.ranking.aggregate_space_efficient import (
     AggregateSpaceEfficientRanking,
@@ -67,6 +68,7 @@ from . import workloads as _workloads
 
 __all__ = [
     "ExperimentSpec",
+    "execute_batch",
     "ResultSet",
     "RunRow",
     "Study",
@@ -434,7 +436,7 @@ class ExperimentSpec:
         """Whether this spec's cells at ``n`` fire mid-run events."""
         return bool(self.build_schedule(n))
 
-    def resolve(self, n: int):
+    def resolve(self, n: int, batch_seeds: int = 1):
         """The ``(backend, capability)`` pair serving this spec's ``n`` cells.
 
         A concrete ``engine`` resolves to that backend (raising
@@ -442,10 +444,11 @@ class ExperimentSpec:
         cell); ``engine="auto"`` negotiates the fastest capable backend
         through each backend's
         :meth:`~repro.core.backends.Backend.capabilities` probe.  The
-        resolution is a pure function of the spec and ``n``, so parallel
-        workers resolve identically to a serial run.  Extractor-bearing
-        specs read the final agent-level configuration, so they are
-        restricted to agent backends.
+        resolution is a pure function of the spec, ``n`` and the
+        ``batch_seeds`` group size (how many same-spec seeds would run as
+        one lockstep group), so parallel workers resolve identically to a
+        serial run.  Extractor-bearing specs read the final agent-level
+        configuration, so they are restricted to agent backends.
         """
         return _backends.resolve_backend(
             self.build_protocol(n),
@@ -455,6 +458,7 @@ class ExperimentSpec:
             series=self.samples > 0,
             events=self.has_events(n),
             stop_on_convergence=self.stop_on_convergence,
+            batch_seeds=batch_seeds,
             kinds=("agent",) if self.extractors else None,
             exactness=self.exactness,
         )
@@ -676,18 +680,16 @@ _ENGINE_CACHES: Dict[tuple, EngineCache] = {}
 def _cell_rng_sequences(spec: ExperimentSpec, n: int, seed_index: int):
     """Three independent seed sequences (workload, run, events) per cell.
 
-    Derived from the spec identity and the cell coordinates through
-    :class:`numpy.random.SeedSequence` — deterministic and process-stable
-    (unlike ``hash()``), which is what makes ``--jobs N`` bit-identical to
-    a serial run.  Spawn children are determined by their index, so the
-    workload and run streams are unchanged from the pre-scenario layout
-    and legacy cells keep their exact trajectories; the third (event)
-    sequence is consumed only by event-bearing scenarios.
+    The derivation lives in :func:`repro.core.rng.cell_seed_sequences` —
+    deterministic, process-stable, and a function of the cell's own
+    coordinates only, which is what makes ``--jobs N`` and the batched
+    engine's seed groups bit-identical to serial per-seed runs.  Spawn
+    children are determined by their index, so the workload and run
+    streams are unchanged from the pre-scenario layout and legacy cells
+    keep their exact trajectories; the third (event) sequence is consumed
+    only by event-bearing scenarios.
     """
-    base = np.random.SeedSequence(
-        [spec.identity_seed(), int(n), int(seed_index)]
-    )
-    return base.spawn(3)
+    return cell_seed_sequences(spec.identity_seed(), n, seed_index, 3)
 
 
 def execute_cell(spec_payload: Mapping, n: int, seed_index: int) -> dict:
@@ -835,6 +837,108 @@ def _execute_group(
         },
     )
     return row.as_dict()
+
+
+def execute_batch(
+    spec_payload: Mapping, n: int, seed_indices: Sequence[int]
+) -> List[dict]:
+    """Run a group of same-spec seeds as one lockstep cell group.
+
+    The batched engine advances every seed together over one shared
+    tabulation; each returned row is bit-identical to what
+    :func:`execute_cell` produces for that seed (the per-lane rng streams
+    derive from the cell's own coordinates, never from the group), except
+    that the ``engine`` field records the batching backend.  When the
+    resolved backend does not batch — a registry difference in a worker
+    process, or a spec whose cells need milestone or event machinery —
+    the group falls back to per-seed execution, so results can never
+    depend on *whether* grouping happened, only the wall-clock can.
+    """
+    from types import SimpleNamespace
+
+    spec = ExperimentSpec.from_dict(dict(spec_payload))
+    seed_indices = [int(index) for index in seed_indices]
+    backend, capability = spec.resolve(n, batch_seeds=len(seed_indices))
+    if (
+        not backend.batches
+        or spec.milestone_fractions
+        or spec.has_events(n)
+    ):
+        return [
+            execute_cell(spec_payload, n, index) for index in seed_indices
+        ]
+
+    budget = int(spec.max_interactions_factor * n * n)
+    protocols = []
+    configurations: List = []
+    rngs = []
+    collectors: List[MetricsCollector] = []
+    for seed_index in seed_indices:
+        workload_seq, run_seq, _ = _cell_rng_sequences(spec, n, seed_index)
+        protocol = spec.build_protocol(n)
+        configuration = WORKLOADS[spec.workload](
+            protocol, np.random.default_rng(workload_seq),
+            **spec.workload_params,
+        )
+        protocols.append(protocol)
+        configurations.append(configuration)
+        rngs.append(np.random.default_rng(run_seq))
+        if spec.samples > 0:
+            interval = max(1, budget // spec.samples)
+            collectors.append(
+                MetricsCollector(standard_ranking_probes(), interval=interval)
+            )
+    if all(configuration is None for configuration in configurations):
+        configurations = None
+
+    cache = None
+    if backend.uses_cache:
+        cache_key = (spec.identity_seed(), n)
+        cache = _ENGINE_CACHES.get(cache_key)
+        if cache is None:
+            cache = _ENGINE_CACHES[cache_key] = EngineCache()
+    simulator = backend.create_batch(
+        protocols,
+        configurations=configurations,
+        random_states=rngs,
+        metrics=collectors if collectors else None,
+        cache=cache,
+        convergence_interval=n,
+    )
+    results = simulator.run(
+        budget, stop_on_convergence=spec.stop_on_convergence
+    )
+
+    rows = []
+    for lane, (seed_index, result) in enumerate(zip(seed_indices, results)):
+        extras: Dict[str, float] = {}
+        for name in spec.extractors:
+            shim = SimpleNamespace(protocol=simulator.lane_protocol(lane))
+            extras.update(EXTRACTORS[name](result, shim))
+        series: Dict[str, Dict[str, list]] = {}
+        if collectors:
+            for name, recorded in collectors[lane].series.items():
+                series[name] = {
+                    "interactions": list(recorded.interactions),
+                    "values": list(recorded.values),
+                }
+        row = RunRow(
+            study="",
+            variant=spec.variant,
+            protocol=protocols[lane].name,
+            engine=backend.name,
+            n=n,
+            seed_index=seed_index,
+            converged=result.converged,
+            interactions=result.interactions,
+            resets=result.resets,
+            exactness=capability.exactness,
+            extras=extras,
+            milestones={},
+            series=series,
+        )
+        rows.append(row.as_dict())
+    return rows
 
 
 def _execute_agent_level(
@@ -1046,7 +1150,7 @@ class Study:
         ``progress`` (if given) is called as ``progress(row, done, total)``
         after every cell, loaded or computed.
         """
-        from .parallel import run_cells
+        from .parallel import run_units
 
         matrix = self.cells()
         known: Dict[tuple, dict] = {}
@@ -1062,16 +1166,43 @@ class Study:
 
         total = len(matrix)
         done = 0
-        pending = []
+        missing: Dict[tuple, list] = {}
+        group_specs: Dict[tuple, ExperimentSpec] = {}
         for spec, n, seed_index in matrix:
             key = (spec.variant, n, seed_index)
             row = known.get(key)
             if row is None:
-                pending.append((spec.as_dict(), n, seed_index))
+                group_key = (spec.variant, n)
+                missing.setdefault(group_key, []).append(seed_index)
+                group_specs[group_key] = spec
             else:
                 done += 1
                 if progress is not None:
                     progress(row, done, total)
+
+        # Same-spec seed groups become one lockstep work unit when a
+        # batching backend wins the group's capability negotiation; a
+        # resumed store groups only the *missing* seeds.  Everything else
+        # ships per cell, exactly as before.
+        pending = []
+        for group_key, seed_indices in missing.items():
+            spec = group_specs[group_key]
+            n = group_key[1]
+            batchable = (
+                len(seed_indices) >= 2
+                and not spec.milestone_fractions
+                and not spec.has_events(n)
+                and spec.resolve(n, batch_seeds=len(seed_indices))[0].batches
+            )
+            if batchable:
+                pending.append(
+                    ("batch", spec.as_dict(), n, tuple(seed_indices))
+                )
+            else:
+                pending.extend(
+                    ("cell", spec.as_dict(), n, seed_index)
+                    for seed_index in seed_indices
+                )
 
         def on_row(row: dict) -> None:
             nonlocal done
@@ -1081,7 +1212,7 @@ class Study:
             if progress is not None:
                 progress(row, done, total)
 
-        computed = run_cells(pending, jobs=self._jobs, callback=on_row)
+        computed = run_units(pending, jobs=self._jobs, callback=on_row)
         for row in computed:
             known[(row["variant"], int(row["n"]), int(row["seed_index"]))] = row
 

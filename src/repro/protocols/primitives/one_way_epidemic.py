@@ -116,6 +116,10 @@ class OneWayEpidemicProtocol(PopulationProtocol[EpidemicState]):
             state.informed for state in configuration.states if state.active
         )
 
+    def state_converged(self, state: EpidemicState) -> bool:
+        """Screen: an active uninformed agent rules out convergence."""
+        return state.informed or not state.active
+
     def informed_count(self, configuration: Configuration[EpidemicState]) -> int:
         """Number of informed agents in ``configuration``."""
         return sum(1 for state in configuration.states if state.informed)

@@ -405,6 +405,7 @@ class StableRankingKernel:
         le_leader_l = self._agent_le_leader
         touched = set()
         resets = 0
+        reset_positions: list = []
         if coin_at is not None:
             in_prefix = coin_positions < prefix
             loop_positions = coin_positions[in_prefix]
@@ -529,6 +530,7 @@ class StableRankingKernel:
                             count_i = r_max
                             wait_i = d_max
                             resets += 1
+                            reset_positions.append(pos_l[index])
                         else:
                             le_write = True
                     # Commit the pair's effects to the tracked chains.
@@ -724,4 +726,10 @@ class StableRankingKernel:
                 # The shadow already holds the committed field values;
                 # record the new codes so the next sync sees no drift.
                 self._synced[commit_agents] = commit_codes
-        return ChunkOutcome(prefix, changed, 0, resets)
+        if resets:
+            # Resets at or past a shortened prefix were never committed.
+            reset_positions = [pos for pos in reset_positions if pos < prefix]
+            resets = len(reset_positions)
+        return ChunkOutcome(
+            prefix, changed, 0, resets, reset_positions if resets else None
+        )

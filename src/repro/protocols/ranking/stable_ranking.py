@@ -221,6 +221,10 @@ class StableRanking(RankingProtocol[AgentState]):
             return False
         return all(self._holds_only_rank(state) for state in configuration.states)
 
+    def state_converged(self, state: AgentState) -> bool:
+        """Screen: convergence requires every agent to hold only its rank."""
+        return self._holds_only_rank(state)
+
     @staticmethod
     def _holds_only_rank(state: AgentState) -> bool:
         return (

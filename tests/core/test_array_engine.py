@@ -17,6 +17,7 @@ The central claims verified here:
 import numpy as np
 import pytest
 
+from harness.differential import assert_identical, snapshot
 from repro.core.array_engine import ArraySimulator, EngineCache, make_simulator
 from repro.core.configuration import Configuration
 from repro.core.errors import SimulationLimitExceeded, StateSpaceTooLarge
@@ -31,34 +32,7 @@ from repro.protocols.ranking.space_efficient import SpaceEfficientRanking
 from repro.protocols.ranking.stable_ranking import StableRanking
 
 
-from repro.core.state import AgentState
-
-
-class LateRandomProtocol(PopulationProtocol):
-    """Deterministic counters that start consuming rng at a threshold.
-
-    The per-agent counter space (0…200) overflows the dense-table budget,
-    so the engine starts on the lazy path; the first agent to reach the
-    threshold makes its transition consume randomness, which raises
-    ``RandomnessConsumed`` inside the walk and exercises the engine's
-    *mid-run* demotion to the object path.
-    """
-
-    name = "late-random"
-    THRESHOLD = 100
-
-    def initial_state(self):
-        return AgentState(aux=0)
-
-    def transition(self, u, v, rng):
-        u.aux = min((u.aux or 0) + 1, 200)
-        if u.aux >= self.THRESHOLD:
-            if int(rng.integers(0, 2)):
-                v.aux = 0
-        return TransitionResult(changed=True)
-
-    def has_converged(self, configuration):
-        return False
+from harness.protocols import LateRandomProtocol
 
 
 def states_of(result):
@@ -106,7 +80,13 @@ class TestModeSelection:
 
 
 class TestSameSeedTraceEquality:
-    """The tabulated paths replay the reference trajectory exactly."""
+    """The tabulated paths replay the reference trajectory exactly.
+
+    Comparisons go through the shared differential harness
+    (:mod:`harness.differential`): one canonical trajectory snapshot and
+    one bit-identity assertion, shared with the cross-engine matrix in
+    ``tests/harness/test_differential.py``.
+    """
 
     @pytest.mark.parametrize("n,seed", [(8, 0), (16, 7), (32, 3), (64, 11)])
     def test_stable_ranking_matches_reference(self, n, seed):
@@ -114,14 +94,10 @@ class TestSameSeedTraceEquality:
         array = ArraySimulator(
             StableRanking(n), random_state=seed, convergence_interval=n
         )
-        expected = reference.run(max_interactions=8_000_000)
-        actual = array.run(max_interactions=8_000_000)
+        expected = snapshot(reference.run(max_interactions=8_000_000))
+        actual = snapshot(array.run(max_interactions=8_000_000))
         assert array.mode == "lazy"
-        assert actual.interactions == expected.interactions
-        assert actual.converged == expected.converged
-        assert actual.rank_assignments == expected.rank_assignments
-        assert actual.resets == expected.resets
-        assert states_of(actual) == states_of(expected)
+        assert_identical(expected, actual, context=f"array n={n} seed={seed}")
 
     @pytest.mark.parametrize("seed", [1, 5])
     def test_epidemic_matches_reference(self, seed):
@@ -130,11 +106,10 @@ class TestSameSeedTraceEquality:
         array = ArraySimulator(
             OneWayEpidemicProtocol(n), random_state=seed, convergence_interval=n
         )
-        expected = reference.run(max_interactions=200_000)
-        actual = array.run(max_interactions=200_000)
+        expected = snapshot(reference.run(max_interactions=200_000))
+        actual = snapshot(array.run(max_interactions=200_000))
         assert array.mode == "dense"
-        assert actual.interactions == expected.interactions
-        assert states_of(actual) == states_of(expected)
+        assert_identical(expected, actual, context=f"epidemic seed={seed}")
 
     def test_fixed_budget_runs_match(self):
         n = 32
@@ -142,10 +117,14 @@ class TestSameSeedTraceEquality:
         array = ArraySimulator(
             StableRanking(n), random_state=2, convergence_interval=n
         )
-        expected = reference.run(max_interactions=40_000, stop_on_convergence=False)
-        actual = array.run(max_interactions=40_000, stop_on_convergence=False)
+        expected = snapshot(
+            reference.run(max_interactions=40_000, stop_on_convergence=False)
+        )
+        actual = snapshot(
+            array.run(max_interactions=40_000, stop_on_convergence=False)
+        )
         assert actual.interactions == expected.interactions == 40_000
-        assert states_of(actual) == states_of(expected)
+        assert_identical(expected, actual, context="fixed budget")
 
     def test_metric_series_match_reference(self):
         n = 32

@@ -1,0 +1,2 @@
+"""Shared test harnesses (importable because ``tests/`` is on ``sys.path``
+via the root ``tests/conftest.py``)."""

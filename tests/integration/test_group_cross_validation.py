@@ -9,9 +9,11 @@ ensembles of independently seeded runs:
 
 * Kolmogorov–Smirnov on exact stabilization times (the reference runs
   with ``convergence_interval=1``, so both sides record the exact first
-  interaction at which the goal holds);
+  interaction at which the goal holds) — through the shared differential
+  harness's scipy-free KS helper, so the comparison runs on the minimal
+  tier-1 environment;
 * chi-square (contingency) on the distribution of the informed count
-  after a fixed interaction budget.
+  after a fixed interaction budget (scipy-only; skipped without it).
 
 The protocols used here (the one-way epidemic and the Cai baseline) have
 small state spaces that every seed revisits, so one shared
@@ -23,8 +25,8 @@ pass comfortably — a failure means a real distribution change, not noise.
 
 import numpy as np
 import pytest
-from scipy import stats
 
+from harness.differential import assert_ks_consistent
 from repro.baselines.cai_ranking import CaiRanking
 from repro.core.group_engine import GroupCountSimulator, GroupTransitionModel
 from repro.core.simulation import Simulator
@@ -71,10 +73,11 @@ class TestStabilizationTimeDistributions:
             group_stabilization_time(OneWayEpidemicProtocol(n), seed, model)
             for seed in range(1000, 1000 + runs)
         ]
-        result = stats.ks_2samp(reference, group)
-        assert result.pvalue > ALPHA, (
-            f"epidemic stabilization times diverge at n={n}: "
-            f"KS={result.statistic:.4f} p={result.pvalue:.2e}"
+        assert_ks_consistent(
+            reference,
+            group,
+            alpha=ALPHA,
+            context=f"epidemic stabilization times at n={n}",
         )
 
     @pytest.mark.parametrize("n,runs", [(8, 200), (16, 120)])
@@ -89,16 +92,18 @@ class TestStabilizationTimeDistributions:
             group_stabilization_time(CaiRanking(n), seed, model)
             for seed in range(1000, 1000 + runs)
         ]
-        result = stats.ks_2samp(reference, group)
-        assert result.pvalue > ALPHA, (
-            f"Cai stabilization times diverge at n={n}: "
-            f"KS={result.statistic:.4f} p={result.pvalue:.2e}"
+        assert_ks_consistent(
+            reference,
+            group,
+            alpha=ALPHA,
+            context=f"Cai stabilization times at n={n}",
         )
 
 
 class TestFixedBudgetMarginals:
     def test_epidemic_informed_count_after_fixed_budget(self):
         """Chi-square on the informed count after exactly T interactions."""
+        stats = pytest.importorskip("scipy.stats")
         n, T, runs = 16, 3 * 16, 400
         reference_counts = []
         for seed in range(runs):
