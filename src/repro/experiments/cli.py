@@ -17,10 +17,18 @@ Examples::
     python -m repro run fault_injection --n 32 --seeds 10 --jobs 4
     python -m repro run fault_storm --n 32,64 --seeds 5 --jobs 4
     python -m repro list --scenarios
+    python -m repro serve --port 8765 --out results/
+    python -m repro worker --study results/figure2-<hash12>
+    python -m repro list --studies results/
 
 Re-invoking a finished study is free: every completed ``(variant, n,
 seed)`` cell is loaded from the store (see
-:mod:`repro.experiments.store`) instead of being re-simulated.
+:mod:`repro.experiments.store`) instead of being re-simulated.  The
+``serve``/``worker`` pair is the scale-out mode (see
+:mod:`repro.serving` and ``docs/serving.md``): ``serve`` accepts spec
+submissions over HTTP and enqueues their cells, any number of ``worker``
+processes drain one study's queue, and ``list --studies`` is the
+operator's view of queue depth, shards and completion.
 """
 
 from __future__ import annotations
@@ -312,6 +320,11 @@ def _build_parser() -> argparse.ArgumentParser:
         "--scenarios", action="store_true",
         help="also print the scenario matrix (workload + event schedule)",
     )
+    list_parser.add_argument(
+        "--studies", metavar="DIR", default=None,
+        help="list the studies under a store root instead: per-study "
+             "queue depth, shard count and completed/total cells",
+    )
 
     run = commands.add_parser("run", help="run one experiment preset")
     run.add_argument("experiment", choices=sorted(EXPERIMENTS))
@@ -358,13 +371,124 @@ def _build_parser() -> argparse.ArgumentParser:
                      help="figure2: omit the ASCII plots")
     run.add_argument("--quiet", action="store_true",
                      help="suppress per-cell progress lines")
+
+    worker = commands.add_parser(
+        "worker",
+        help="drain one study's job queue (scale-out execution mode)",
+    )
+    worker.add_argument("--study", required=True, metavar="DIR",
+                        help="the study directory (<name>-<hash12>)")
+    worker.add_argument("--lease-timeout", type=float, default=60.0,
+                        help="seconds without a heartbeat before another "
+                             "worker may reclaim a job (default 60)")
+    worker.add_argument("--poll", type=float, default=0.5,
+                        help="seconds between queue scans while waiting "
+                             "(default 0.5)")
+    worker.add_argument("--max-jobs", type=int, default=None,
+                        help="exit after this many completed jobs")
+    worker.add_argument("--follow", action="store_true",
+                        help="keep polling for new submissions once the "
+                             "queue is drained instead of exiting")
+    worker.add_argument("--no-fsync", action="store_true",
+                        help="skip fsync on shard appends (throughput "
+                             "over durability)")
+    worker.add_argument("--quiet", action="store_true",
+                        help="suppress per-job progress lines")
+
+    serve = commands.add_parser(
+        "serve",
+        help="HTTP front end: submit specs, stream progress, fetch rows",
+    )
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--port", type=int, default=8765,
+                       help="port to bind (0 picks an ephemeral port)")
+    serve.add_argument("--out", default="results",
+                       help="result-store root directory (default: "
+                            "results/)")
+    serve.add_argument("--workers", type=int, default=0,
+                       help="worker subprocesses to spawn per submitted "
+                            "study (default 0: drain with `repro worker`)")
+    serve.add_argument("--lease-timeout", type=float, default=60.0,
+                       help="lease timeout passed to spawned workers")
+    serve.add_argument("--quiet", action="store_true",
+                       help="suppress per-request log lines")
     return parser
+
+
+def _list_studies(root: str) -> int:
+    """``repro list --studies DIR`` — the operator's view of the stores."""
+    from ..serving.server import StudyService
+
+    summaries = StudyService(root).studies()
+    if not summaries:
+        print(f"no studies under {root}")
+        return 0
+    width = max(len(summary["study"]) for summary in summaries)
+    print(f"studies under {root}:")
+    for summary in summaries:
+        queue = summary["queue"]
+        state = "complete" if summary["complete"] else (
+            f"queue {queue['pending']} pending"
+            f" ({queue['active']} active, {queue['stale']} stale)"
+        )
+        engines = ", ".join(
+            f"{engine}:{count}"
+            for engine, count in summary["by_engine"].items()
+        )
+        print(
+            f"  {summary['study']:<{width}}  "
+            f"cells {summary['done']}/{summary['total']}  "
+            f"shards {summary['shards']}  {state}"
+            + (f"  [{engines}]" if engines else "")
+        )
+    return 0
 
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
     """Command-line entry point; returns the process exit code."""
     parser = _build_parser()
     args = parser.parse_args(argv)
+
+    if args.command == "list" and args.studies is not None:
+        try:
+            return _list_studies(args.studies)
+        except ExperimentError as error:
+            print(f"error: {error}", file=sys.stderr)
+            return 1
+
+    if args.command == "worker":
+        from ..serving.worker import run_worker
+
+        try:
+            jobs = run_worker(
+                args.study,
+                lease_timeout=args.lease_timeout,
+                poll=args.poll,
+                max_jobs=args.max_jobs,
+                follow=args.follow,
+                fsync=not args.no_fsync,
+                progress=None if args.quiet else (
+                    lambda line: print(line, flush=True)
+                ),
+            )
+        except ExperimentError as error:
+            print(f"error: {error}", file=sys.stderr)
+            return 1
+        if not args.quiet:
+            print(f"worker drained {jobs} job(s) from {args.study}")
+        return 0
+
+    if args.command == "serve":
+        from ..serving.server import serve
+
+        return serve(
+            args.out,
+            host=args.host,
+            port=args.port,
+            lease_timeout=args.lease_timeout,
+            workers=args.workers,
+            quiet=args.quiet,
+        )
 
     if args.command == "list" or args.command is None:
         width = max(len(name) for name in EXPERIMENTS)

@@ -24,7 +24,7 @@ from typing import Callable, List, Optional, Sequence, Tuple
 
 from .study import execute_batch, execute_cell
 
-__all__ = ["run_cells", "run_units"]
+__all__ = ["execute_unit", "run_cells", "run_units", "unit_cell_keys"]
 
 #: (spec payload dict, n, seed_index) — one cell shipped to a worker.
 CellArgs = Tuple[dict, int, int]
@@ -33,17 +33,36 @@ CellArgs = Tuple[dict, int, int]
 #: ``("batch", payload, n, seed_indices)`` runs a whole same-spec seed
 #: group in lockstep on a batching backend.  A batch unit is indivisible —
 #: it ships to one worker, which is what lets the lanes share a process-
-#: local engine cache — but different units still fan out.
+#: local engine cache — but different units still fan out.  Units are
+#: produced by :func:`repro.experiments.study.plan_units` and consumed
+#: both here (pool fan-out) and by the serving work queue, whose jobs
+#: wrap one unit each (:mod:`repro.serving.queue`).
 UnitArgs = tuple
 
 
-def _execute_unit(unit: UnitArgs) -> List[dict]:
+def execute_unit(unit: UnitArgs) -> List[dict]:
+    """Run one tagged work unit; returns its finished row dictionaries.
+
+    This is the single execution entry point shared by every scheduling
+    mode — serial loops, pool workers and queue-draining ``repro worker``
+    processes all call it — which is what keeps the produced rows
+    independent of *where* a unit ran.
+    """
     kind = unit[0]
     if kind == "batch":
         _, payload, n, seed_indices = unit
         return execute_batch(payload, n, list(seed_indices))
     _, payload, n, seed_index = unit
     return [execute_cell(payload, n, seed_index)]
+
+
+def unit_cell_keys(unit: UnitArgs) -> List[Tuple[str, int, int]]:
+    """The store cell keys a unit produces when it completes."""
+    kind, payload, n = unit[0], unit[1], int(unit[2])
+    variant = payload["variant"]
+    if kind == "batch":
+        return [(variant, n, int(seed)) for seed in unit[3]]
+    return [(variant, n, int(unit[3]))]
 
 
 def run_units(
@@ -79,7 +98,7 @@ def run_units(
     if jobs == 1 or len(units) == 1:
         rows = []
         for unit in units:
-            for row in _execute_unit(unit):
+            for row in execute_unit(unit):
                 rows.append(row)
                 if callback is not None:
                     callback(row)
@@ -88,7 +107,7 @@ def run_units(
     context = multiprocessing.get_context("spawn")
     rows = []
     with context.Pool(processes=min(jobs, len(units))) as pool:
-        for unit_rows in pool.imap_unordered(_execute_unit, units, chunksize=1):
+        for unit_rows in pool.imap_unordered(execute_unit, units, chunksize=1):
             for row in unit_rows:
                 rows.append(row)
                 if callback is not None:

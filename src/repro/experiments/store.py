@@ -9,8 +9,11 @@ layout under the store root is::
     <root>/
       <study-name>-<hash12>/
         spec.json        # the study's expanded specs + identity hash
-        rows.jsonl       # one completed cell per line, append-only
+        rows.jsonl       # canonical rows, one completed cell per line
         rows.csv         # flat export, rewritten on study completion
+        shards/          # per-worker append-only row shards (serving mode)
+          <worker>.jsonl
+        queue/           # work-queue manifest + leases (serving mode)
 
 ``<hash12>`` is a content hash over the specs' *identity* fields — the
 protocol, its parameters, the engine, the workload, milestones, budget and
@@ -21,6 +24,25 @@ sizes) only computes the new cells.  Changing anything that affects a
 cell's trajectory re-keys the directory, so stale rows can never be
 mistaken for current ones.
 
+Concurrency model
+-----------------
+The canonical ``rows.jsonl`` has one writer at a time (the study process);
+scale-out writers each own a private shard under ``shards/`` (see
+:class:`repro.serving.ShardedResultStore`).  Three mechanisms make the
+directory safe under concurrent writers and crash-prone readers:
+
+* every append is **one** ``write`` call of the fully encoded line (plus
+  an optional ``fsync``), taken under an advisory file lock where the
+  platform provides one, so two writers can never interleave bytes;
+* a **torn trailing line** — a writer killed mid-append — is repaired on
+  the next append to that file (the partial record is truncated away; the
+  cell is deterministic, so it simply re-runs) and skipped with a warning
+  by readers, so a crash never breaks resume;
+* :meth:`ResultStore.load` reads the **union** of the canonical file and
+  every shard (later duplicates win — cells are deterministic, so every
+  copy holds the same bytes), and :meth:`ResultStore.compact` folds shard
+  rows into the canonical file append-only before deleting the shards.
+
 Only the standard library is used; rows are plain dictionaries
 (:meth:`~repro.experiments.study.RunRow.as_dict`).
 """
@@ -28,15 +50,148 @@ Only the standard library is used; rows are plain dictionaries
 from __future__ import annotations
 
 import json
+import os
+import warnings
+from contextlib import contextmanager
 from pathlib import Path
 from typing import Dict, Iterable, List, Optional, Tuple
 
+try:  # pragma: no cover - exercised implicitly on POSIX
+    import fcntl
+except ImportError:  # pragma: no cover - non-POSIX platforms
+    fcntl = None  # type: ignore[assignment]
+
 from ..core.errors import ExperimentError
 
-__all__ = ["ResultStore"]
+__all__ = [
+    "ResultStore",
+    "append_jsonl_line",
+    "read_jsonl",
+    "repair_torn_tail",
+]
 
 #: Key identifying a cell within a study: (variant, n, seed_index).
 CellKey = Tuple[str, int, int]
+
+
+# ----------------------------------------------------------------------
+# Low-level JSONL primitives (shared with the serving queue/shards)
+# ----------------------------------------------------------------------
+@contextmanager
+def _locked(handle):
+    """Advisory exclusive lock on an open file (no-op without fcntl)."""
+    if fcntl is not None:
+        fcntl.flock(handle.fileno(), fcntl.LOCK_EX)
+    try:
+        yield
+    finally:
+        if fcntl is not None:
+            fcntl.flock(handle.fileno(), fcntl.LOCK_UN)
+
+
+def repair_torn_tail(path) -> bool:
+    """Truncate a torn trailing record (no final newline) off ``path``.
+
+    A writer killed between ``write`` and the write landing leaves a
+    partial final line.  The partial record is unrecoverable but also
+    worthless — every row is deterministic in its cell coordinates — so
+    the repair simply truncates back to the last complete line.  Returns
+    whether anything was removed.  The caller is expected to hold the
+    append lock (or be the file's only writer).
+    """
+    path = Path(path)
+    try:
+        size = path.stat().st_size
+    except OSError:
+        return False
+    if size == 0:
+        return False
+    with path.open("rb+") as handle:
+        handle.seek(-1, os.SEEK_END)
+        if handle.read(1) == b"\n":
+            return False
+        position = size
+        chunk = 65536
+        while position > 0:
+            step = min(chunk, position)
+            handle.seek(position - step)
+            data = handle.read(step)
+            cut = data.rfind(b"\n")
+            if cut >= 0:
+                handle.truncate(position - step + cut + 1)
+                return True
+            position -= step
+        handle.truncate(0)
+    return True
+
+
+def append_jsonl_line(path, payload: dict, fsync: bool = False) -> None:
+    """Atomically append one JSON record to ``path``.
+
+    The record is encoded first and written with a *single* ``write`` call
+    under an advisory lock, so concurrent appenders (multiple workers, a
+    worker racing compaction) can never interleave bytes.  A torn trailing
+    line left by a crashed writer is repaired before appending, keeping
+    the file parseable end to end.  With ``fsync=True`` the line is
+    durable before the call returns — the serving workers use this so a
+    released lease implies persisted rows.
+    """
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    data = (json.dumps(payload, sort_keys=True) + "\n").encode()
+    while True:
+        with path.open("ab") as handle:
+            with _locked(handle):
+                # Compaction may unlink the path between our open and the
+                # lock; writing to the unlinked inode would lose the row.
+                try:
+                    if os.fstat(handle.fileno()).st_ino != os.stat(path).st_ino:
+                        continue
+                except OSError:
+                    continue
+                repair_torn_tail(path)
+                handle.seek(0, os.SEEK_END)
+                handle.write(data)
+                handle.flush()
+                if fsync:
+                    os.fsync(handle.fileno())
+            return
+
+
+def read_jsonl(path, strict: bool = True) -> List[dict]:
+    """Parse a JSONL file, tolerating a torn final record.
+
+    A partial *final* line (a writer killed mid-append) is skipped with a
+    :class:`UserWarning` so an interrupted study stays resumable; a
+    malformed line anywhere else is real corruption and raises
+    :class:`~repro.core.errors.ExperimentError` (``strict=False`` demotes
+    those to warnings too, for operator tooling that must not die on one
+    bad store).
+    """
+    path = Path(path)
+    if not path.exists():
+        return []
+    lines = [line for line in path.read_text().splitlines() if line.strip()]
+    rows: List[dict] = []
+    for index, line in enumerate(lines):
+        try:
+            rows.append(json.loads(line))
+        except json.JSONDecodeError:
+            if index == len(lines) - 1:
+                warnings.warn(
+                    f"skipping torn trailing record in {path} (a writer "
+                    f"was killed mid-append; the cell will re-run)",
+                    stacklevel=2,
+                )
+                break
+            message = (
+                f"corrupt row store {path} "
+                f"(malformed line {index + 1} of {len(lines)})"
+            )
+            if strict:
+                raise ExperimentError(message)
+            warnings.warn(message, stacklevel=2)
+    return rows
 
 
 class ResultStore:
@@ -51,15 +206,37 @@ class ResultStore:
     content_hash:
         The study's identity hash (second component); computed by
         :meth:`~repro.experiments.study.Study.content_hash`.
+    fsync:
+        When true, every append is fsynced before returning (durability
+        over throughput; the serving workers turn this on).
     """
 
-    def __init__(self, root, name: str, content_hash: str):
+    def __init__(self, root, name: str, content_hash: str,
+                 fsync: bool = False):
         if not name or any(sep in name for sep in "/\\"):
             raise ExperimentError(f"invalid study name {name!r}")
         self._root = Path(root)
         self._directory = self._root / f"{name}-{content_hash}"
         self._rows_path = self._directory / "rows.jsonl"
         self._spec_path = self._directory / "spec.json"
+        self._fsync = bool(fsync)
+
+    @classmethod
+    def open(cls, directory, **kwargs) -> "ResultStore":
+        """A store for an *existing* study directory (``<name>-<hash>``).
+
+        This is how serving workers attach to a study they did not
+        create: the submitting process names the directory, the worker
+        only needs the path.
+        """
+        directory = Path(directory)
+        if "-" not in directory.name:
+            raise ExperimentError(
+                f"{directory} is not a study directory (expected "
+                f"<name>-<hash12>)"
+            )
+        name, content_hash = directory.name.rsplit("-", 1)
+        return cls(directory.parent, name, content_hash, **kwargs)
 
     @property
     def directory(self) -> Path:
@@ -68,8 +245,19 @@ class ResultStore:
 
     @property
     def rows_path(self) -> Path:
-        """The append-only JSONL file holding completed cell rows."""
+        """The canonical JSONL file holding completed cell rows."""
         return self._rows_path
+
+    @property
+    def shards_directory(self) -> Path:
+        """Directory holding per-worker append-only row shards."""
+        return self._directory / "shards"
+
+    def shard_paths(self) -> List[Path]:
+        """Every shard file currently present, in stable (sorted) order."""
+        if not self.shards_directory.is_dir():
+            return []
+        return sorted(self.shards_directory.glob("*.jsonl"))
 
     # ------------------------------------------------------------------
     # Spec provenance
@@ -92,40 +280,84 @@ class ResultStore:
     # Rows
     # ------------------------------------------------------------------
     def append(self, row: dict) -> None:
-        """Persist one completed cell row (flushed immediately)."""
-        self._directory.mkdir(parents=True, exist_ok=True)
-        with self._rows_path.open("a") as handle:
-            handle.write(json.dumps(row, sort_keys=True) + "\n")
+        """Persist one completed cell row (atomic single-write append)."""
+        append_jsonl_line(self._rows_path, row, fsync=self._fsync)
 
     def load(self) -> Dict[CellKey, dict]:
         """All persisted rows keyed by cell; later duplicates win.
 
-        Duplicates arise when a study is interrupted and re-run with an
-        overlapping matrix — the cells are deterministic, so any copy is
-        as good as any other.  A torn *final* line (a run killed
-        mid-append) is skipped, so an interrupted study stays resumable;
-        a malformed line anywhere else is real corruption and raises.
+        Reads the union of the canonical ``rows.jsonl`` and every shard
+        under ``shards/`` (canonical first, shards in sorted order), so
+        resume and :class:`~repro.experiments.study.ResultSet` queries see
+        one consistent view whether rows were written by a single study
+        process or by many serving workers.  Duplicates arise when a study
+        is interrupted and re-run with an overlapping matrix, or when a
+        reclaimed work-queue job re-runs — the cells are deterministic, so
+        any copy is as good as any other.  A torn *final* line in any file
+        (a run killed mid-append) is skipped with a warning, so an
+        interrupted study stays resumable; a malformed line anywhere else
+        is real corruption and raises.
         """
         rows: Dict[CellKey, dict] = {}
-        if not self._rows_path.exists():
-            return rows
-        lines = [
-            line for line in self._rows_path.read_text().splitlines()
-            if line.strip()
-        ]
-        for index, line in enumerate(lines):
-            try:
-                row = json.loads(line)
-            except json.JSONDecodeError:
-                if index == len(lines) - 1:
-                    break
-                raise ExperimentError(
-                    f"corrupt row store {self._rows_path} "
-                    f"(malformed line {index + 1} of {len(lines)})"
-                )
-            rows[(row["variant"], int(row["n"]), int(row["seed_index"]))] = row
+        for path in [self._rows_path] + self.shard_paths():
+            for row in read_jsonl(path):
+                key = (row["variant"], int(row["n"]), int(row["seed_index"]))
+                rows[key] = row
         return rows
 
     def completed(self) -> Iterable[CellKey]:
         """Keys of every persisted cell."""
         return self.load().keys()
+
+    # ------------------------------------------------------------------
+    # Compaction
+    # ------------------------------------------------------------------
+    def compact(self) -> int:
+        """Fold shard rows into the canonical file and delete the shards.
+
+        The pass is append-only on ``rows.jsonl`` (never rewritten, so
+        concurrent readers and the canonical single writer stay safe):
+        every shard row whose cell key is not already canonical is
+        appended, then the shard file is removed under its append lock —
+        a worker racing one last append either lands it before the shard
+        is read (merged now) or recreates the shard afterwards (merged by
+        the next pass).  Crashing between merge and delete leaves
+        duplicates, which readers resolve by key.  Returns the number of
+        rows merged.
+        """
+        shard_paths = self.shard_paths()
+        if not shard_paths:
+            return 0
+        known = {
+            (row["variant"], int(row["n"]), int(row["seed_index"]))
+            for row in read_jsonl(self._rows_path)
+        }
+        merged = 0
+        for shard in shard_paths:
+            try:
+                handle = shard.open("rb+")
+            except OSError:
+                continue  # pragma: no cover - raced by another compactor
+            with handle:
+                with _locked(handle):
+                    for row in read_jsonl(shard):
+                        key = (
+                            row["variant"], int(row["n"]),
+                            int(row["seed_index"]),
+                        )
+                        if key in known:
+                            continue
+                        append_jsonl_line(
+                            self._rows_path, row, fsync=self._fsync
+                        )
+                        known.add(key)
+                        merged += 1
+                    try:
+                        shard.unlink()
+                    except OSError:  # pragma: no cover - raced delete
+                        pass
+        try:
+            self.shards_directory.rmdir()
+        except OSError:
+            pass  # non-empty (new shard appeared) or already gone
+        return merged

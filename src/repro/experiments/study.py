@@ -69,6 +69,7 @@ from . import workloads as _workloads
 __all__ = [
     "ExperimentSpec",
     "execute_batch",
+    "plan_units",
     "ResultSet",
     "RunRow",
     "Study",
@@ -1064,6 +1065,58 @@ def _execute_agent_level(
 
 
 # ----------------------------------------------------------------------
+# Work planning
+# ----------------------------------------------------------------------
+def plan_units(
+    specs: Sequence[ExperimentSpec],
+    known_keys,
+) -> List[tuple]:
+    """The pending work units for a spec matrix, minus the known cells.
+
+    This is the single planner behind both execution modes: ``Study.run``
+    feeds the units to the in-process fan-out
+    (:func:`repro.experiments.parallel.run_units`), the serving layer
+    wraps each unit as one queue job
+    (:class:`repro.serving.JobQueue`).  Same-spec seed groups become one
+    indivisible ``("batch", …)`` unit when a batching backend wins the
+    group's capability negotiation — so a work queue ships a lockstep
+    seed-group to exactly one worker, the same way one pool worker runs
+    it — and everything else ships as single ``("cell", …)`` units.  The
+    plan is a pure function of the specs and the known-cell set, so every
+    submitter and every resumed run agree on the unit boundaries.
+    """
+    known = set(known_keys)
+    missing: Dict[tuple, list] = {}
+    group_specs: Dict[tuple, ExperimentSpec] = {}
+    for spec in specs:
+        for n in spec.n_values:
+            for seed_index in range(spec.seeds):
+                if (spec.variant, n, seed_index) in known:
+                    continue
+                group_key = (spec.variant, n)
+                missing.setdefault(group_key, []).append(seed_index)
+                group_specs[group_key] = spec
+    pending: List[tuple] = []
+    for group_key, seed_indices in missing.items():
+        spec = group_specs[group_key]
+        n = group_key[1]
+        batchable = (
+            len(seed_indices) >= 2
+            and not spec.milestone_fractions
+            and not spec.has_events(n)
+            and spec.resolve(n, batch_seeds=len(seed_indices))[0].batches
+        )
+        if batchable:
+            pending.append(("batch", spec.as_dict(), n, tuple(seed_indices)))
+        else:
+            pending.extend(
+                ("cell", spec.as_dict(), n, seed_index)
+                for seed_index in seed_indices
+            )
+    return pending
+
+
+# ----------------------------------------------------------------------
 # Study
 # ----------------------------------------------------------------------
 class Study:
@@ -1166,43 +1219,18 @@ class Study:
 
         total = len(matrix)
         done = 0
-        missing: Dict[tuple, list] = {}
-        group_specs: Dict[tuple, ExperimentSpec] = {}
         for spec, n, seed_index in matrix:
-            key = (spec.variant, n, seed_index)
-            row = known.get(key)
-            if row is None:
-                group_key = (spec.variant, n)
-                missing.setdefault(group_key, []).append(seed_index)
-                group_specs[group_key] = spec
-            else:
+            row = known.get((spec.variant, n, seed_index))
+            if row is not None:
                 done += 1
                 if progress is not None:
                     progress(row, done, total)
 
-        # Same-spec seed groups become one lockstep work unit when a
-        # batching backend wins the group's capability negotiation; a
-        # resumed store groups only the *missing* seeds.  Everything else
-        # ships per cell, exactly as before.
-        pending = []
-        for group_key, seed_indices in missing.items():
-            spec = group_specs[group_key]
-            n = group_key[1]
-            batchable = (
-                len(seed_indices) >= 2
-                and not spec.milestone_fractions
-                and not spec.has_events(n)
-                and spec.resolve(n, batch_seeds=len(seed_indices))[0].batches
-            )
-            if batchable:
-                pending.append(
-                    ("batch", spec.as_dict(), n, tuple(seed_indices))
-                )
-            else:
-                pending.extend(
-                    ("cell", spec.as_dict(), n, seed_index)
-                    for seed_index in seed_indices
-                )
+        # The shared planner groups same-spec seed groups into one
+        # lockstep work unit when a batching backend wins the group's
+        # capability negotiation; a resumed store groups only the
+        # *missing* seeds.  Everything else ships per cell.
+        pending = plan_units(self._specs, known.keys())
 
         def on_row(row: dict) -> None:
             nonlocal done
@@ -1225,4 +1253,8 @@ class Study:
         result = ResultSet(rows, self._specs, self._name)
         if self._store is not None:
             result.to_csv(self._store.directory / "rows.csv")
+            # Fold any serving-worker shards into the canonical file: a
+            # finished study converges back to one rows.jsonl whichever
+            # mix of processes produced its cells.
+            self._store.compact()
         return result

@@ -1,0 +1,61 @@
+"""Per-worker shard writer over the study result store.
+
+A :class:`~repro.experiments.store.ResultStore` already reads the union
+of the canonical ``rows.jsonl`` and every shard file; what a concurrent
+worker additionally needs is a *private* append target so that no two
+processes ever write the same file.  :class:`ShardedResultStore` is that
+writer: appends go to ``shards/<worker>.jsonl`` (atomic single-write
+lines, fsynced by default so a released lease implies persisted rows),
+everything else — union reads, resume, compaction — is inherited.
+"""
+
+from __future__ import annotations
+
+import os
+import uuid
+from typing import Optional
+
+from ..experiments.store import ResultStore, append_jsonl_line
+
+__all__ = ["ShardedResultStore"]
+
+
+class ShardedResultStore(ResultStore):
+    """A result store whose appends target a worker-private shard.
+
+    Parameters
+    ----------
+    root, name, content_hash:
+        As for :class:`~repro.experiments.store.ResultStore` (use
+        :meth:`~repro.experiments.store.ResultStore.open` to attach to an
+        existing study directory by path).
+    worker_id:
+        The shard name.  Defaults to a fresh ``w<pid>-<token>`` per
+        store instance, so a restarted worker never appends to a file
+        that may carry a crashed predecessor's torn tail.
+    fsync:
+        Defaults to *on* for shard writers: a work-queue lease is only
+        released once the job's rows are durable.
+    """
+
+    def __init__(self, root, name: str, content_hash: str,
+                 worker_id: Optional[str] = None, fsync: bool = True):
+        super().__init__(root, name, content_hash, fsync=fsync)
+        if worker_id is None:
+            worker_id = f"w{os.getpid()}-{uuid.uuid4().hex[:8]}"
+        self._worker_id = str(worker_id)
+        self._shard_path = self.shards_directory / f"{self._worker_id}.jsonl"
+
+    @property
+    def worker_id(self) -> str:
+        """The shard name this store appends under."""
+        return self._worker_id
+
+    @property
+    def shard_path(self):
+        """This worker's private shard file."""
+        return self._shard_path
+
+    def append(self, row: dict) -> None:
+        """Append one row to this worker's shard (atomic, fsynced)."""
+        append_jsonl_line(self._shard_path, row, fsync=self._fsync)

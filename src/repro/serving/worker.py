@@ -1,0 +1,135 @@
+"""``repro worker`` — drain one study's job queue from any process.
+
+A worker is the scale-out unit of the serving subsystem: point any number
+of them (processes, hosts sharing a filesystem) at one study directory
+and they cooperatively drain its queue.  Each iteration re-reads the
+store's union view, claims the first pending job whose lease it wins,
+executes the unit through exactly the same code path as ``Study.run``
+(:func:`repro.experiments.parallel.execute_unit`), appends the rows to
+its private shard — fsynced *before* the lease is released, so a freed
+job implies durable rows — and moves on.  A heartbeat thread keeps the
+lease fresh during long cells; if the worker dies instead, the lease goes
+stale and another worker reclaims the job, re-running it to the same
+bytes (cells are deterministic in their coordinates).
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from pathlib import Path
+from typing import Callable, Optional
+
+from ..core.errors import ExperimentError
+from ..experiments.parallel import execute_unit
+from .queue import JobQueue
+from .store import ShardedResultStore
+
+__all__ = ["run_worker"]
+
+
+class _Heartbeat:
+    """Daemon thread touching a lease's mtime at a fixed cadence."""
+
+    def __init__(self, lease, interval: float):
+        self._lease = lease
+        self._interval = max(0.05, interval)
+        self._stop = threading.Event()
+        self._thread = threading.Thread(target=self._run, daemon=True)
+
+    def _run(self) -> None:
+        while not self._stop.wait(self._interval):
+            self._lease.heartbeat()
+
+    def __enter__(self) -> "_Heartbeat":
+        self._thread.start()
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self._stop.set()
+        self._thread.join(timeout=5.0)
+
+
+def run_worker(
+    study_dir,
+    lease_timeout: float = 60.0,
+    poll: float = 0.5,
+    max_jobs: Optional[int] = None,
+    follow: bool = False,
+    worker_id: Optional[str] = None,
+    fsync: bool = True,
+    progress: Optional[Callable[[str], None]] = None,
+) -> int:
+    """Drain the study's queue; returns the number of jobs completed.
+
+    Parameters
+    ----------
+    study_dir:
+        The study directory (``<name>-<hash12>``), as created by
+        ``Study``/``repro serve`` and printed by submission.
+    lease_timeout:
+        Seconds without a heartbeat before another worker may break a
+        claim.  Heartbeats fire every quarter of this.
+    poll:
+        Sleep between queue scans when every pending job is leased by
+        someone else (or, with ``follow``, when the queue is empty).
+    max_jobs:
+        Stop after this many completed jobs (``None`` = unlimited).
+    follow:
+        Keep polling for new submissions once the queue is drained
+        instead of exiting (the mode ``repro serve --workers N`` uses).
+    worker_id:
+        Shard / lease owner name; defaults to a fresh per-process token.
+    fsync:
+        Fsync shard appends before releasing a job's lease (default on).
+    progress:
+        Called with one human-readable line per worker event.
+    """
+    if not Path(study_dir).is_dir():
+        raise ExperimentError(f"no study directory at {study_dir}")
+    store = ShardedResultStore.open(
+        study_dir, worker_id=worker_id, fsync=fsync
+    )
+    queue = JobQueue(store.directory, lease_timeout=lease_timeout)
+    say = progress if progress is not None else (lambda line: None)
+    completed_jobs = 0
+    while max_jobs is None or completed_jobs < max_jobs:
+        completed = store.load().keys()
+        candidates = queue.pending(completed)
+        if not candidates:
+            if follow:
+                time.sleep(poll)
+                continue
+            break
+        claimed = None
+        for job in candidates:
+            lease = queue.claim(job, store.worker_id)
+            if lease is not None:
+                claimed = (job, lease)
+                break
+        if claimed is None:
+            # Every pending job is actively leased by another worker;
+            # wait for leases to resolve (or go stale) and rescan.
+            time.sleep(poll)
+            continue
+        job, lease = claimed
+        say(
+            f"[{store.worker_id}] job {job.id} {job.kind} n={job.n} "
+            f"seeds={list(job.seed_indices)}"
+        )
+        try:
+            with _Heartbeat(lease, interval=lease_timeout / 4.0):
+                rows = execute_unit(job.unit)
+                for row in rows:
+                    store.append(row)
+        finally:
+            lease.release()
+        completed_jobs += 1
+        say(f"[{store.worker_id}] job {job.id} done ({len(rows)} rows)")
+    # Drained (or hit the job budget): fold this run's shards into the
+    # canonical file so a finished study converges back to one rows.jsonl.
+    if not queue.pending(store.load().keys()):
+        merged = store.compact()
+        if merged:
+            say(f"[{store.worker_id}] compacted {merged} rows into canon")
+    return completed_jobs
