@@ -90,7 +90,9 @@ the simulated trajectory; all counters in ``SimulationResult`` are exact.
 
 from __future__ import annotations
 
-from typing import Callable, Dict, List, Optional
+import warnings
+from itertools import islice
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -182,14 +184,23 @@ class EngineCache:
     constructor arguments match.  Sharing across *different*
     parameterizations silently corrupts results; nothing can check this for
     you.
+
+    With ``persist_dir`` set, the cache also binds to the on-disk
+    :mod:`~repro.core.table_store`: the first simulator construction
+    merges every readable artifact under the protocol's content address
+    (:meth:`load_persisted`, called from the engines' mode selection),
+    and :meth:`spill` persists whatever this process newly tabulated.
+    Persistence only moves tabulation work across processes — trajectories
+    are bit-identical with or without it.
     """
 
     __slots__ = (
         "codec", "pair_cache", "probe_table", "dense_tables", "mode",
         "soa_kernel", "soa_columns",
+        "persist_dir", "_store_entry", "_spill_mark", "_persist_failed",
     )
 
-    def __init__(self):
+    def __init__(self, persist_dir=None):
         self.codec = StateCodec()
         self.pair_cache: Dict[int, int] = {}
         #: Pair-code → probe-class byte map; a dense (S × S) int8 matrix
@@ -206,6 +217,179 @@ class EngineCache:
         #: live-population binding is refreshed per chunk by each engine).
         self.soa_kernel = None
         self.soa_columns = None
+        #: Root directory of the persistent table store, or ``None`` for a
+        #: purely in-memory cache (the historical behaviour).
+        self.persist_dir = persist_dir
+        self._store_entry = None
+        #: Pair-cache length at the last load/spill: everything beyond it
+        #: is "newly tabulated by this process" (dict order is insertion
+        #: order, and tabulation only ever appends).
+        self._spill_mark = 0
+        self._persist_failed = False
+
+    # ------------------------------------------------------------------
+    # Persistent table store
+    # ------------------------------------------------------------------
+    def load_persisted(self, protocol: "PopulationProtocol") -> None:
+        """Bind to the persistent store and merge its artifacts once.
+
+        Called by the engines' mode selection right before the first
+        codec interning, so a dense artifact can restore the compiled
+        tables (identity code mapping into the still-empty codec) and
+        pair spills can seed the lazy tabulation.  Any store failure
+        warns and permanently disables persistence for this cache — the
+        run continues cold, never poisoned.
+        """
+        if (
+            self.persist_dir is None
+            or self._persist_failed
+            or self._store_entry is not None
+        ):
+            return
+        from .table_store import TableStore, record_loaded_pairs
+
+        try:
+            entry = TableStore(self.persist_dir).entry_for(protocol)
+        except Exception as error:
+            self._persist_failed = True
+            warnings.warn(f"table store disabled: {error}")
+            return
+        self._store_entry = entry
+        codec = self.codec
+        try:
+            if self.mode is None and entry.mode_hint() == "lazy":
+                # Skip the doomed dense enumeration attempt a previous
+                # process already paid for.  ("dense" hints are not
+                # forced: the dense artifact below carries the proof.)
+                self.mode = "lazy"
+            if codec.size == 0 and self.dense_tables is None:
+                loaded = entry.load_dense()
+                if loaded is not None:
+                    states, arrays = loaded
+                    for state in states:
+                        codec.encode(state)
+                    self.dense_tables = DenseTransitionTables(
+                        next_initiator=arrays["next_initiator"],
+                        next_responder=arrays["next_responder"],
+                        changed=arrays["changed"],
+                        rank=arrays["rank"],
+                        reset=arrays["reset"],
+                    )
+            merged: Dict[int, int] = {}
+            for states, keys, vals in entry.load_pair_spills():
+                # Remap the spill's private codes onto the live codec.
+                mapping = np.empty(len(states), dtype=np.int64)
+                for spill_code, state in enumerate(states):
+                    mapping[spill_code] = codec.encode(state)
+                keys = np.asarray(keys, dtype=np.int64)
+                vals = np.asarray(vals, dtype=np.int64)
+                new_keys = (
+                    (mapping[keys >> _CODE_BITS] << _CODE_BITS)
+                    | mapping[keys & _CODE_MASK]
+                )
+                flags = vals & ~np.int64(
+                    (_CODE_MASK << _CODE_BITS) | _CODE_MASK
+                )
+                new_vals = (
+                    mapping[vals & _CODE_MASK]
+                    | (mapping[(vals >> _CODE_BITS) & _CODE_MASK]
+                       << _CODE_BITS)
+                    | flags
+                )
+                merged.update(zip(new_keys.tolist(), new_vals.tolist()))
+            if codec.size > _MAX_CODES:
+                raise CodecError(
+                    f"persisted spills exceed the {_MAX_CODES} "
+                    f"distinct-state capacity"
+                )
+            pair_cache = self.pair_cache
+            fresh = {
+                key: value
+                for key, value in merged.items()
+                if key not in pair_cache
+            }
+            if fresh:
+                pair_cache.update(fresh)
+                keys = np.fromiter(fresh.keys(), np.int64, len(fresh))
+                vals = np.fromiter(fresh.values(), np.int64, len(fresh))
+                cu = keys >> _CODE_BITS
+                cv = keys & _CODE_MASK
+                classes = (
+                    ((vals & _CODE_MASK) != cu) * _CLS_WRITES_U
+                    | (((vals >> _CODE_BITS) & _CODE_MASK) != cv)
+                    * _CLS_WRITES_V
+                    | ((vals & _FLAG_FIELD) != 0) * _CLS_FLAGGED
+                ).astype(np.int8)
+                table = self.probe_table
+                table.ensure_capacity(codec.size)
+                table.bulk_set(cu, cv, classes)
+                record_loaded_pairs(len(fresh))
+        except Exception as error:
+            self._persist_failed = True
+            self._store_entry = None
+            warnings.warn(
+                f"table store load failed ({type(error).__name__}: "
+                f"{error}); continuing cold"
+            )
+        self._spill_mark = len(self.pair_cache)
+
+    def spill(self) -> int:
+        """Persist what this process newly tabulated; returns pairs written.
+
+        Call on finalize (the study layer does, after each executed
+        unit).  Dense tables are written once per entry; lazily tabulated
+        pairs beyond the last load/spill watermark become one new
+        immutable spill artifact.  Failures warn and disable persistence
+        — results are never affected.
+        """
+        entry = self._store_entry
+        if entry is None or self._persist_failed:
+            return 0
+        written = 0
+        try:
+            if self.mode in ("dense", "lazy"):
+                entry.save_mode_hint(self.mode)
+            if self.dense_tables is not None:
+                tables = self.dense_tables
+                states = [
+                    self.codec.prototype(code)
+                    for code in range(tables.size)
+                ]
+                entry.write_dense(
+                    states,
+                    {
+                        "next_initiator": tables.next_initiator,
+                        "next_responder": tables.next_responder,
+                        "changed": tables.changed,
+                        "rank": tables.rank,
+                        "reset": tables.reset,
+                    },
+                )
+            count = len(self.pair_cache) - self._spill_mark
+            if count > 0:
+                items = list(
+                    islice(self.pair_cache.items(), self._spill_mark, None)
+                )
+                keys = np.fromiter(
+                    (key for key, _ in items), np.int64, len(items)
+                )
+                vals = np.fromiter(
+                    (value for _, value in items), np.int64, len(items)
+                )
+                states = [
+                    self.codec.prototype(code)
+                    for code in range(self.codec.size)
+                ]
+                if entry.write_pair_spill(states, keys, vals):
+                    written = len(items)
+                self._spill_mark = len(self.pair_cache)
+        except Exception as error:
+            self._persist_failed = True
+            warnings.warn(
+                f"table store spill failed ({type(error).__name__}: "
+                f"{error}); continuing without persistence"
+            )
+        return written
 
 
 class _DenseKernel:
@@ -358,6 +542,38 @@ class _LazyKernel:
         table.ensure_capacity(self._codec.size)
         table.set(a, b, _class_of(packed, a, b))
         return packed
+
+    def evaluate_packed_batch(
+        self, keys: Sequence[int]
+    ) -> Tuple[List[int], List[int], int]:
+        """Resolve many packed pair keys in one call.
+
+        Returns ``(values, raised, novel)``: the packed outcome per key
+        (``0`` where tabulation consumed randomness — those positions are
+        listed in ``raised``), and how many keys were newly tabulated.
+        Keys are processed strictly in order, so codec interning — and
+        therefore every downstream trajectory — is identical to scalar
+        :meth:`evaluate_packed` calls; the point is amortizing the
+        per-miss dispatch of the batched engine's lockstep step loop,
+        where all of a step's misses arrive at settled codes.
+        """
+        get = self.pair_dict.get
+        evaluate = self.evaluate_packed
+        values: List[int] = []
+        raised: List[int] = []
+        novel = 0
+        for position, key in enumerate(keys):
+            value = get(key)
+            if value is None:
+                try:
+                    value = evaluate(key)
+                except RandomnessConsumed:
+                    raised.append(position)
+                    values.append(0)
+                    continue
+                novel += 1
+            values.append(value)
+        return values, raised, novel
 
     def probe_class(self, cu: np.ndarray, cv: np.ndarray) -> np.ndarray:
         """Probe-class bytes for a batch of state pairs; unknown reads -1."""
@@ -552,6 +768,10 @@ class ArraySimulator:
             cache.mode = "object"
             return "object"
         codec = cache.codec
+        # Merge persisted tables (if a store is attached) before the first
+        # interning, so a dense artifact lands in the still-empty codec and
+        # pair spills seed the lazy tabulation.  No-op after first contact.
+        cache.load_persisted(self._protocol)
         try:
             codes = codec.encode_many(self._configuration.states)
         except CodecError:

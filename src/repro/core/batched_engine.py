@@ -68,6 +68,7 @@ from .array_engine import (
 )
 from .codec import compile_dense_tables
 from .configuration import Configuration
+from .jit_engine import batched_lockstep_loop
 from .errors import (
     CodecError,
     RandomnessConsumed,
@@ -253,6 +254,10 @@ class BatchedArraySimulator:
         if self._mode == "lazy":
             self._grow_lut()
 
+        # Optional numba fast-forward through fully-warm lockstep steps
+        # (``None`` without numba: the interpreted loop is the only path).
+        self._jit_lockstep = batched_lockstep_loop()
+
         # Vectorized convergence screen over interned codes.
         self._screen = np.empty(0, dtype=bool)
         self._screen_len = 0
@@ -299,6 +304,10 @@ class BatchedArraySimulator:
         if self._n >= _MAX_RANK:
             return "serial-fallback"
         codec = cache.codec
+        # Merge persisted tables (if a store is attached) before the first
+        # interning: a dense artifact restores the compiled tables outright
+        # and pair spills pre-warm the LUT's initial bulk scatter.
+        cache.load_persisted(protocol)
         try:
             rows = [
                 codec.encode_many(config.states) for config in self._configs
@@ -426,6 +435,18 @@ class BatchedArraySimulator:
         self._lut[
             (key >> _CODE_BITS) * _LUT_MAX_DIM + (key & _CODE_MASK)
         ] = value
+
+    def _lut_bulk_insert(self, keys: np.ndarray, values: np.ndarray) -> None:
+        """Mirror a batch of resolved pairs with one scatter."""
+        if self._lut is None or len(keys) == 0:
+            return
+        if self._codec.size > self._lut_rows:
+            self._grow_lut()
+            if self._lut is None:
+                return
+        self._lut[
+            (keys >> _CODE_BITS) * _LUT_MAX_DIM + (keys & _CODE_MASK)
+        ] = values
 
     # ------------------------------------------------------------------
     # Convergence
@@ -563,7 +584,27 @@ class BatchedArraySimulator:
             # ``_lut_insert``; catch up before addressing by code.
             self._grow_lut()
 
-        for step in range(seg):
+        step = 0
+        jit = self._jit_lockstep
+        while step < seg:
+            if jit is not None:
+                # Fast-forward through consecutive fully-warm steps in one
+                # native call (direct-address tables only; the sorted-array
+                # fallback keeps the interpreted loop).  The returned step
+                # is the first with a miss, left untouched for the batch
+                # resolver below.
+                if dense_flat is not None:
+                    step = jit(
+                        flat, gij, dense_flat, self._S,
+                        vals_block, width, step, seg,
+                    )
+                elif self._lut is not None:
+                    step = jit(
+                        flat, gij, self._lut, _LUT_MAX_DIM,
+                        vals_block, width, step, seg,
+                    )
+                if step >= seg:
+                    break
             idx = gij[step]
             ab = flat[idx]
             a = ab[:width]
@@ -596,25 +637,32 @@ class BatchedArraySimulator:
                         vals[:] = 0
                     misses = None if hit.all() else np.flatnonzero(~hit)
                 if misses is not None:
-                    get = self._kernel.pair_dict.get
-                    evaluate = self._kernel.evaluate_packed
-                    raised: List[int] = []
-                    for slot in misses:
-                        key = (int(a[slot]) << _CODE_BITS) | int(b[slot])
-                        value = get(key)
-                        if value is None:
-                            try:
-                                value = evaluate(key)
-                            except RandomnessConsumed:
-                                raised.append(int(slot))
-                                continue
-                            self._pending_sync += 1
-                        vals[slot] = value
-                        self._lut_insert(key, value)
+                    # All of a step's misses see settled codes, so they
+                    # resolve as one batch: a single kernel call with the
+                    # dispatch hoisted out of the per-pair loop, then one
+                    # bulk LUT scatter instead of per-miss inserts.  Key
+                    # order matches the old per-slot loop, so codec
+                    # interning — and every trajectory — is unchanged.
+                    miss_keys = [
+                        (int(a[slot]) << _CODE_BITS) | int(b[slot])
+                        for slot in misses
+                    ]
+                    values, raised_at, novel = (
+                        self._kernel.evaluate_packed_batch(miss_keys)
+                    )
+                    self._pending_sync += novel
+                    vals[misses] = values
+                    resolved = np.ones(len(miss_keys), dtype=bool)
+                    resolved[raised_at] = False
+                    self._lut_bulk_insert(
+                        np.asarray(miss_keys, dtype=np.int64)[resolved],
+                        np.asarray(values, dtype=np.int64)[resolved],
+                    )
                     if self._lut is None and self._pending_sync >= (
                         _SYNC_BASE + (self._sk.size >> 3)
                     ):
                         self._sync_lookup()
+                    raised = [int(misses[pos]) for pos in raised_at]
                     if raised:
                         keep = np.ones(width, dtype=bool)
                         keep[raised] = False
@@ -630,6 +678,7 @@ class BatchedArraySimulator:
             np.right_shift(vals, _CODE_BITS, out=nxt[width:])
             nxt[width:] &= _CODE_MASK
             flat[idx] = nxt
+            step += 1
 
         block = vals_block[:consumed]
         if consumed:

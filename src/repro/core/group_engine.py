@@ -57,12 +57,17 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 from math import ceil
-from typing import Dict, Iterable, List, Optional, Tuple
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 import numpy as np
 
 from .codec import StateCodec, evaluate_pair
-from .errors import ConfigurationError, SimulationLimitExceeded, StateSpaceTooLarge
+from .errors import (
+    CodecError,
+    ConfigurationError,
+    SimulationLimitExceeded,
+    StateSpaceTooLarge,
+)
 from .protocol import PopulationProtocol
 from .rng import RandomState, make_rng
 
@@ -231,6 +236,58 @@ class GroupTransitionModel:
         if self._dirty:
             self._rebuild_dense()
             self._dirty = False
+
+    # ------------------------------------------------------------------
+    # Persistence (see repro.core.table_store)
+    # ------------------------------------------------------------------
+    def snapshot(self) -> Tuple[List[object], np.ndarray, np.ndarray]:
+        """``(states, tabulated, pairs)`` — everything needed to restore.
+
+        ``states`` are the codec's interned prototypes in code order,
+        ``tabulated`` the tabulation order, and ``pairs`` the productive
+        transitions as an ``(P, 4)`` array of ``(x, y, a, b)`` rows *in
+        insertion order* — dict order is insertion order, and replaying it
+        reproduces the row/column list ordering (and therefore the event
+        sampler's inverse-CDF layout) exactly.
+        """
+        codec = self.codec
+        states = [codec.prototype(code) for code in range(codec.size)]
+        tabulated = np.asarray(self._tabulated, dtype=np.int64)
+        pairs = np.array(
+            [
+                [x, y, a, b]
+                for (x, y), (a, b) in self.successors.items()
+            ],
+            dtype=np.int64,
+        ).reshape(-1, 4)
+        return states, tabulated, pairs
+
+    @classmethod
+    def from_snapshot(
+        cls,
+        protocol: PopulationProtocol,
+        states: Sequence[object],
+        tabulated: np.ndarray,
+        pairs: np.ndarray,
+        max_states: int = DEFAULT_MAX_STATES,
+    ) -> "GroupTransitionModel":
+        """Rebuild a model from :meth:`snapshot` output without evaluating
+        a single transition (the point of persisting it)."""
+        model = cls(protocol, max_states=max_states)
+        for code, state in enumerate(states):
+            if model.codec.encode(state) != code:
+                raise CodecError(
+                    "snapshot states did not intern to their own codes"
+                )
+        model._tabulated = [int(code) for code in tabulated]
+        model._tabulated_set = set(model._tabulated)
+        for x, y, a, b in np.asarray(pairs, dtype=np.int64).tolist():
+            model.successors[(x, y)] = (a, b)
+            model.row_lists.setdefault(x, []).append(y)
+            model.col_lists.setdefault(y, []).append(x)
+        model._dirty = True
+        model.refresh()
+        return model
 
     def _rebuild_dense(self) -> None:
         size = self.codec.size

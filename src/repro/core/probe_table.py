@@ -271,6 +271,40 @@ class ProbeClassTable:
                 first_tombstone = index
             index = (index + 1) & mask
 
+    def bulk_set(self, cu: np.ndarray, cv: np.ndarray, values) -> None:
+        """Store the probe classes of many *distinct* code pairs at once.
+
+        This is the persisted-warm load path: a table-store merge arrives
+        as parallel code/class arrays, and inserting them one scalar
+        :meth:`set` at a time would dominate the load.  Dense tables take
+        a single fancy-index scatter; a *fresh* hashed table takes the
+        vectorized :meth:`_bulk_insert`; a hashed table that already holds
+        entries falls back to scalar upserts (``_bulk_insert`` requires
+        keys absent from the table).  Callers guarantee the pairs are
+        distinct — the table-store merge dedups before calling.
+        """
+        count = len(cu)
+        if count == 0:
+            return
+        cu = np.asarray(cu, dtype=np.int64)
+        cv = np.asarray(cv, dtype=np.int64)
+        values = np.asarray(values, dtype=np.int8)
+        if self._keys is None:
+            needed = int(max(cu.max(), cv.max())) + 1
+            self.ensure_capacity(needed)
+            if self._keys is None:
+                self._dense[cu, cv] = values
+                return
+        keys = (cu << self._key_bits) | cv
+        if self._live == 0 and self._used == 0:
+            needed = int(count / _MAX_LOAD) + 1
+            if needed > self._mask + 1:
+                self._init_hash(needed)
+            self._bulk_insert(keys, values)
+            return
+        for key, value in zip(keys.tolist(), values.tolist()):
+            self._set_key(int(key), int(value))
+
     def discard(self, a: int, b: int) -> bool:
         """Remove the entry for ``(a, b)`` if present; returns whether it was.
 

@@ -412,7 +412,171 @@ def _build_parser() -> argparse.ArgumentParser:
                        help="lease timeout passed to spawned workers")
     serve.add_argument("--quiet", action="store_true",
                        help="suppress per-request log lines")
+
+    cache = commands.add_parser(
+        "cache",
+        help="inspect, pre-warm or clear the persistent table store",
+    )
+    cache_actions = cache.add_subparsers(dest="cache_command")
+    cache_list = cache_actions.add_parser(
+        "list", help="one line per persisted protocol entry"
+    )
+    cache_list.add_argument("--dir", default=None, metavar="DIR",
+                            help="table-store directory (default: "
+                                 "$REPRO_TABLE_CACHE)")
+    cache_warm = cache_actions.add_parser(
+        "warm",
+        help="populate the store by running seeds of one protocol",
+    )
+    cache_warm.add_argument("--protocol", required=True,
+                            help="protocol registry name (e.g. "
+                                 "stable-ranking, one-way-epidemic)")
+    cache_warm.add_argument("--n", type=int, required=True, action="append",
+                            help="population size; repeatable")
+    cache_warm.add_argument("--dir", default=None, metavar="DIR",
+                            help="table-store directory (default: "
+                                 "$REPRO_TABLE_CACHE)")
+    cache_warm.add_argument("--seeds", type=int, default=4,
+                            help="warming trajectories per n (default 4)")
+    cache_warm.add_argument("--jobs", type=int, default=1,
+                            help="worker processes for the warming fan-out")
+    cache_warm.add_argument("--engine", default="auto",
+                            help="engine to warm through (default auto)")
+    cache_warm.add_argument("--max-factor", type=float, default=None,
+                            help="interaction budget per trajectory, in "
+                                 "units of n²")
+    cache_clear = cache_actions.add_parser(
+        "clear", help="delete every entry of the table store"
+    )
+    cache_clear.add_argument("--dir", default=None, metavar="DIR",
+                             help="table-store directory (default: "
+                                  "$REPRO_TABLE_CACHE)")
     return parser
+
+
+def _print_table_store_stats() -> None:
+    """One line of table-store traffic for the finished command, if any.
+
+    Printed unconditionally (not gated by ``--quiet``): the line is the
+    observable proof that a run was served from — or contributed to — a
+    persistent store, which scripts (and CI) grep for.  Loads counted in
+    worker processes stay in those processes; this reports the calling
+    process's traffic, which is exactly the serial/in-process path.
+    """
+    from ..core.table_store import consume_session_stats
+
+    stats = consume_session_stats()
+    parts = []
+    if stats["pairs_loaded"] or stats["spills_loaded"]:
+        parts.append(
+            f"loaded {stats['pairs_loaded']} pairs "
+            f"from {stats['spills_loaded']} spill(s)"
+        )
+    if stats["dense_loaded"]:
+        parts.append(f"loaded {stats['dense_loaded']} dense table(s)")
+    if stats["group_loaded"]:
+        parts.append(f"loaded {stats['group_loaded']} group model(s)")
+    if stats["pairs_spilled"]:
+        parts.append(
+            f"spilled {stats['pairs_spilled']} pairs "
+            f"to {stats['spills_written']} file(s)"
+        )
+    if stats["artifacts_discarded"]:
+        parts.append(
+            f"discarded {stats['artifacts_discarded']} corrupt artifact(s)"
+        )
+    if parts:
+        print("table store: " + "; ".join(parts))
+
+
+def _cache_command(args) -> int:
+    """``repro cache list|warm|clear`` — operate on a table store."""
+    import os
+    from pathlib import Path
+
+    from ..core.table_store import ENV_VAR, TableStore, resolve_store_dir
+
+    if args.cache_command is None:
+        print(
+            "usage: python -m repro cache {list,warm,clear} [options]",
+            file=sys.stderr,
+        )
+        return 2
+    directory = Path(args.dir) if args.dir else resolve_store_dir()
+    if directory is None:
+        print(
+            f"error: no table store; pass --dir or set {ENV_VAR}",
+            file=sys.stderr,
+        )
+        return 1
+
+    if args.cache_command == "list":
+        entries = TableStore(directory).entries()
+        if not entries:
+            print(f"no table-store entries under {directory}")
+            return 0
+        print(f"table store at {directory}:")
+        for entry in entries:
+            info = entry.describe()
+            print(
+                f"  {info['name']}  "
+                f"pairs {info['pairs']} ({info['spills']} spills)  "
+                f"dense {info['dense_states'] or 0}  "
+                f"group {info['group_states'] or 0}  "
+                f"mode {info['mode'] or '-'}  "
+                f"{info['bytes']} bytes"
+            )
+        return 0
+
+    if args.cache_command == "clear":
+        TableStore(directory).clear()
+        print(f"cleared table store at {directory}")
+        return 0
+
+    # warm: run seed trajectories of the named protocol with the store
+    # attached; every engine cache spills its tabulation on finalize, so
+    # the trajectories themselves are the warming mechanism (exactly what
+    # a later study replays, so warmth is guaranteed to transfer).
+    from .parallel import run_units
+    from .study import PROTOCOLS, ExperimentSpec, plan_units
+
+    if args.protocol not in PROTOCOLS:
+        print(
+            f"error: unknown protocol {args.protocol!r}; known: "
+            f"{', '.join(sorted(PROTOCOLS))}",
+            file=sys.stderr,
+        )
+        return 1
+    spec_kwargs = dict(
+        variant="warm",
+        protocol=args.protocol,
+        n_values=tuple(args.n),
+        seeds=args.seeds,
+        engine=args.engine,
+    )
+    if args.max_factor is not None:
+        spec_kwargs["max_interactions_factor"] = args.max_factor
+    try:
+        spec = ExperimentSpec(**spec_kwargs)
+    except ExperimentError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1
+    previous = os.environ.get(ENV_VAR)
+    os.environ[ENV_VAR] = str(directory)
+    try:
+        units = plan_units([spec], ())
+        rows = run_units(units, jobs=args.jobs, callback=None)
+    finally:
+        if previous is None:
+            del os.environ[ENV_VAR]
+        else:
+            os.environ[ENV_VAR] = previous
+    print(
+        f"warmed {args.protocol} at n={','.join(str(n) for n in args.n)}: "
+        f"{len(rows)} trajectories into {directory}"
+    )
+    _print_table_store_stats()
+    return 0
 
 
 def _list_studies(root: str) -> int:
@@ -476,7 +640,15 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             return 1
         if not args.quiet:
             print(f"worker drained {jobs} job(s) from {args.study}")
+        _print_table_store_stats()
         return 0
+
+    if args.command == "cache":
+        try:
+            return _cache_command(args)
+        except ExperimentError as error:
+            print(f"error: {error}", file=sys.stderr)
+            return 1
 
     if args.command == "serve":
         from ..serving.server import serve
@@ -534,6 +706,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         # so report the problem but keep the store pointers visible.
         print(f"error: {error}", file=sys.stderr)
         exit_code = 1
+    _print_table_store_stats()
     if study.store is not None:
         result.to_json(study.store.directory / "result.json")
         print(f"\nresult store: {study.store.directory}")

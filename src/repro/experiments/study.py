@@ -30,6 +30,8 @@ from __future__ import annotations
 
 import hashlib
 import json
+import os
+import warnings
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import (
@@ -56,6 +58,8 @@ from ..core.array_engine import EngineCache
 from ..core.errors import ExperimentError
 from ..core.metrics import MetricsCollector, standard_ranking_probes
 from ..core.rng import cell_seed_sequences
+from ..core.table_store import ENV_VAR as _TABLE_CACHE_ENV
+from ..core.table_store import resolve_store_dir
 from ..protocols.primitives.one_way_epidemic import OneWayEpidemicProtocol
 from ..protocols.ranking.aggregate_space_efficient import (
     AggregateSpaceEfficientRanking,
@@ -678,6 +682,24 @@ class ResultSet:
 _ENGINE_CACHES: Dict[tuple, EngineCache] = {}
 
 
+def _shared_cache(spec, n: int) -> EngineCache:
+    """The per-process shared cache for one (variant, n) — persistent when
+    a table store is configured (``REPRO_TABLE_CACHE``), plain otherwise.
+
+    The store directory is resolved at cache *creation*: ``Study.run``
+    exports the study's table directory around the fan-out, so both pool
+    workers (which import this module fresh) and the in-process path pick
+    it up here.
+    """
+    cache_key = (spec.identity_seed(), n)
+    cache = _ENGINE_CACHES.get(cache_key)
+    if cache is None:
+        cache = _ENGINE_CACHES[cache_key] = EngineCache(
+            persist_dir=resolve_store_dir()
+        )
+    return cache
+
+
 def _cell_rng_sequences(spec: ExperimentSpec, n: int, seed_index: int):
     """Three independent seed sequences (workload, run, events) per cell.
 
@@ -762,6 +784,82 @@ def _execute_aggregate(spec, n, seed_index, run_seq, backend,
 #: model is shared exactly like the array engine's ``EngineCache``.
 _GROUP_MODELS: Dict[tuple, "object"] = {}
 
+#: Tabulated-state counts already written to the table store per model
+#: key, so repeated cells rewrite the group snapshot only when the model
+#: actually grew.
+_GROUP_PERSISTED: Dict[tuple, int] = {}
+
+
+def _group_store_entry(protocol):
+    """The table-store entry for ``protocol``, or ``None`` when no store
+    is configured (or the store is unusable — never fatal)."""
+    store_dir = resolve_store_dir()
+    if store_dir is None:
+        return None
+    try:
+        from ..core.table_store import TableStore
+
+        return TableStore(store_dir).entry_for(protocol)
+    except Exception as exc:
+        warnings.warn(
+            f"table store unavailable for group models ({exc}); "
+            "continuing without persistence",
+            RuntimeWarning,
+            stacklevel=2,
+        )
+        return None
+
+
+def _restore_group_model(protocol, model_key):
+    """Rebuild a persisted :class:`GroupTransitionModel`, or ``None``.
+
+    Snapshot replay reconstructs the successor lists in their original
+    insertion order, so restored models sample bit-identically to the
+    models that wrote them; any failure (corrupt snapshot, states that no
+    longer intern to their own codes after a protocol change the identity
+    hash missed) falls back to cold derivation with a warning.
+    """
+    entry = _group_store_entry(protocol)
+    if entry is None:
+        return None
+    snapshot = entry.load_group_model()
+    if snapshot is None:
+        return None
+    from ..core.group_engine import GroupTransitionModel
+
+    try:
+        model = GroupTransitionModel.from_snapshot(protocol, *snapshot)
+    except Exception as exc:
+        warnings.warn(
+            f"persisted group model for {protocol.name} did not replay "
+            f"({exc}); rebuilding cold",
+            RuntimeWarning,
+            stacklevel=2,
+        )
+        return None
+    _GROUP_PERSISTED[model_key] = model.tabulated_states
+    return model
+
+
+def _persist_group_model(protocol, model_key, model) -> None:
+    """Write the model's snapshot if it grew past what the store holds."""
+    tabulated = model.tabulated_states
+    if tabulated <= _GROUP_PERSISTED.get(model_key, 0):
+        return
+    entry = _group_store_entry(protocol)
+    if entry is None:
+        return
+    try:
+        entry.write_group_model(*model.snapshot())
+    except Exception as exc:
+        warnings.warn(
+            f"could not persist group model for {protocol.name} ({exc})",
+            RuntimeWarning,
+            stacklevel=2,
+        )
+        return
+    _GROUP_PERSISTED[model_key] = tabulated
+
 
 def _execute_group(
     spec, protocol, n, seed_index, workload_seq, run_seq, backend, capability
@@ -780,6 +878,10 @@ def _execute_group(
 
     model_key = (spec.identity_seed(), n)
     model = _GROUP_MODELS.get(model_key)
+    if model is None:
+        model = _restore_group_model(protocol, model_key)
+        if model is not None:
+            _GROUP_MODELS[model_key] = model
 
     state_counts = None
     configuration = None
@@ -812,6 +914,7 @@ def _execute_group(
             for fraction in spec.milestone_fractions
         }
     outcome = simulator.run(max_interactions=budget, milestones=milestones)
+    _persist_group_model(protocol, model_key, simulator.model)
     if spec.milestone_fractions:
         # Match the agent-level milestone contract: the row converges
         # when every requested fraction was reached within budget.
@@ -894,10 +997,7 @@ def execute_batch(
 
     cache = None
     if backend.uses_cache:
-        cache_key = (spec.identity_seed(), n)
-        cache = _ENGINE_CACHES.get(cache_key)
-        if cache is None:
-            cache = _ENGINE_CACHES[cache_key] = EngineCache()
+        cache = _shared_cache(spec, n)
     simulator = backend.create_batch(
         protocols,
         configurations=configurations,
@@ -909,6 +1009,8 @@ def execute_batch(
     results = simulator.run(
         budget, stop_on_convergence=spec.stop_on_convergence
     )
+    if cache is not None:
+        cache.spill()
 
     rows = []
     for lane, (seed_index, result) in enumerate(zip(seed_indices, results)):
@@ -958,10 +1060,7 @@ def _execute_agent_level(
     rng = np.random.default_rng(run_seq)
     cache = None
     if backend.uses_cache:
-        cache_key = (spec.identity_seed(), n)
-        cache = _ENGINE_CACHES.get(cache_key)
-        if cache is None:
-            cache = _ENGINE_CACHES[cache_key] = EngineCache()
+        cache = _shared_cache(spec, n)
     # The convergence cadence is pinned to the reference simulator's
     # default (every ``n`` interactions) for every backend: recorded
     # stopping times are a measured quantity, so they must not depend on
@@ -1034,6 +1133,9 @@ def _execute_agent_level(
         row_converged = result.converged
         interactions = result.interactions
         resets = result.resets
+
+    if cache is not None:
+        cache.spill()
 
     for name in spec.extractors:
         extras.update(EXTRACTORS[name](result, simulator))
@@ -1240,7 +1342,22 @@ class Study:
             if progress is not None:
                 progress(row, done, total)
 
-        computed = run_units(pending, jobs=self._jobs, callback=on_row)
+        # Fan out with the study's own table directory as the table store
+        # (unless the caller already pinned one): spawn workers inherit
+        # the environment, so every process — and every later run over the
+        # same store — shares one persistent tabulation.
+        exported = (
+            _TABLE_CACHE_ENV not in os.environ and self._store is not None
+        )
+        if exported:
+            os.environ[_TABLE_CACHE_ENV] = str(
+                self._store.directory / "tables"
+            )
+        try:
+            computed = run_units(pending, jobs=self._jobs, callback=on_row)
+        finally:
+            if exported:
+                del os.environ[_TABLE_CACHE_ENV]
         for row in computed:
             known[(row["variant"], int(row["n"]), int(row["seed_index"]))] = row
 

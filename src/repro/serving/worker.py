@@ -15,12 +15,14 @@ bytes (cells are deterministic in their coordinates).
 
 from __future__ import annotations
 
+import os
 import threading
 import time
 from pathlib import Path
 from typing import Callable, Optional
 
 from ..core.errors import ExperimentError
+from ..core.table_store import ENV_VAR as _TABLE_CACHE_ENV
 from ..experiments.parallel import execute_unit
 from .queue import JobQueue
 from .store import ShardedResultStore
@@ -87,6 +89,12 @@ def run_worker(
     """
     if not Path(study_dir).is_dir():
         raise ExperimentError(f"no study directory at {study_dir}")
+    # Every worker of one study shares the study's table directory as its
+    # persistent tabulation store (first contact tabulates, everyone else
+    # mmaps), unless the operator pinned REPRO_TABLE_CACHE elsewhere.
+    os.environ.setdefault(
+        _TABLE_CACHE_ENV, str(Path(study_dir) / "tables")
+    )
     store = ShardedResultStore.open(
         study_dir, worker_id=worker_id, fsync=fsync
     )

@@ -191,3 +191,62 @@ class TestModuleEntryPoint:
         ]
         assert {(row["n"], row["seed_index"]) for row in rows} == {(16, 0), (16, 1)}
         assert all(row["series"]["ranked_agents"]["values"] for row in rows)
+
+
+class TestCacheCommand:
+    def test_list_without_a_store_location_fails(self, capsys, monkeypatch):
+        monkeypatch.delenv("REPRO_TABLE_CACHE", raising=False)
+        assert main(["cache", "list"]) == 1
+        assert "REPRO_TABLE_CACHE" in capsys.readouterr().err
+
+    def test_unknown_protocol_is_reported(self, tmp_path, capsys):
+        code = main(
+            ["cache", "warm", "--protocol", "nope", "--n", "16",
+             "--dir", str(tmp_path / "tables")]
+        )
+        assert code == 1
+        assert "unknown protocol" in capsys.readouterr().err
+
+    def test_warm_list_clear_round_trip(self, tmp_path, capsys):
+        store = tmp_path / "tables"
+        code = main(
+            ["cache", "warm", "--protocol", "stable-ranking", "--n", "24",
+             "--seeds", "2", "--dir", str(store)]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "warmed stable-ranking" in out
+        assert "table store:" in out and "spilled" in out
+
+        assert main(["cache", "list", "--dir", str(store)]) == 0
+        out = capsys.readouterr().out
+        assert "stable-ranking" in out
+        assert "mode lazy" in out
+
+        assert main(["cache", "clear", "--dir", str(store)]) == 0
+        assert not store.exists()
+        assert main(["cache", "list", "--dir", str(store)]) == 0
+        assert "no table-store entries" in capsys.readouterr().out
+
+    def test_run_exports_study_table_store_and_reports_hits(
+        self, tmp_path, capsys, monkeypatch
+    ):
+        import repro.experiments.study as study_mod
+
+        monkeypatch.delenv("REPRO_TABLE_CACHE", raising=False)
+        monkeypatch.setattr(study_mod, "_ENGINE_CACHES", {})
+        args = ["run", "figure2", "--n", "32", "--seeds", "1",
+                "--quiet", "--no-plot"]
+        assert main(args + ["--out", str(tmp_path / "out1")]) == 0
+        out = capsys.readouterr().out
+        assert "table store:" in out and "spilled" in out
+        study_dir = next((tmp_path / "out1").iterdir())
+        assert (study_dir / "tables").is_dir()
+
+        # A second cold process (simulated: fresh per-process caches)
+        # sharing the table store reports hits instead of tabulating.
+        monkeypatch.setattr(study_mod, "_ENGINE_CACHES", {})
+        monkeypatch.setenv("REPRO_TABLE_CACHE", str(study_dir / "tables"))
+        assert main(args + ["--out", str(tmp_path / "out2")]) == 0
+        out = capsys.readouterr().out
+        assert "table store: loaded" in out
