@@ -24,6 +24,10 @@ __all__ = [
     "cai_state_count",
     "burman_state_count",
     "normalized_stabilization_time",
+    "herman_ring_conjectured_bound",
+    "herman_ring_upper_bound",
+    "ring_epidemic_expected_interactions",
+    "complete_epidemic_expected_interactions",
     "StateComplexitySummary",
     "state_complexity_summary",
 ]
@@ -109,6 +113,63 @@ def normalized_stabilization_time(interactions: int, n: int) -> float:
     """``interactions / (n² log₂ n)`` — constant iff the time is ``Θ(n² log n)``."""
     _check_n(n)
     return interactions / (n * n * math.log2(n))
+
+
+# ----------------------------------------------------------------------
+# Ring-topology overlays (Herman-style bounds and epidemic expectations)
+# ----------------------------------------------------------------------
+def herman_ring_conjectured_bound(n: int) -> float:
+    """Herman's self-stabilization on a ring: the ``4n²/27`` conjecture.
+
+    Herman's randomized token-ring protocol stabilizes in expected
+    ``O(n²)`` steps; the worst-case expectation was conjectured (and later
+    proved for three tokens) to be exactly ``4n²/27`` — the sharp ``Θ(n²)``
+    constant for ring self-stabilization.  The ``topology_sweep`` preset
+    overlays this on measured ring stabilization times: any ring-local
+    protocol whose measured interactions grow like ``c·n²`` sits a
+    constant factor from this line.
+    """
+    _check_n(n)
+    return 4.0 * n * n / 27.0
+
+
+def herman_ring_upper_bound(n: int, constant: float = 0.64) -> float:
+    """McIver–Morgan style proved upper bound ``≈ 0.64·n²`` for Herman's ring.
+
+    The proved worst-case expected stabilization time of Herman's ring is
+    at most ``constant · n²`` (0.64 from the literature's best general
+    bound; the conjectured sharp constant is ``4/27 ≈ 0.148``).  Together
+    the two lines bracket the ``Θ(n²)`` band measured ring runs should
+    land in when normalized by ``n²``.
+    """
+    _check_n(n)
+    return constant * n * n
+
+
+def ring_epidemic_expected_interactions(n: int) -> float:
+    """Exact expected one-way-epidemic spread time on the ring: ``n(n-1)``.
+
+    With one informed arc, exactly 2 of the ``2n`` directed edge slots
+    grow it (the two boundary slots with an informed initiator), so each
+    of the ``n-1`` growth events waits ``Geometric(1/n)`` interactions:
+    the expected total is ``n·(n-1)`` — the ``Θ(n²)`` ring behaviour the
+    Herman bounds bracket, versus ``Θ(n log n)`` on the complete graph.
+    """
+    _check_n(n)
+    return float(n) * (n - 1)
+
+
+def complete_epidemic_expected_interactions(n: int) -> float:
+    """Exact expected one-way-epidemic spread time on the complete graph.
+
+    With ``k`` informed agents a uniform ordered pair is productive with
+    probability ``k(n-k)/(n(n-1))``; summing the geometric waits gives
+    ``2(n-1)·H(n-1)`` — the ``Θ(n log n)`` baseline the restricted
+    topologies are compared against.
+    """
+    _check_n(n)
+    harmonic = sum(1.0 / k for k in range(1, n))
+    return 2.0 * (n - 1) * harmonic
 
 
 @dataclass(frozen=True)

@@ -683,6 +683,7 @@ class ArraySimulator:
         engine_mode: Optional[str] = None,
         cache: Optional[EngineCache] = None,
         use_soa_kernel: bool = True,
+        topology=None,
     ):
         self._protocol = protocol
         self._configuration = (
@@ -695,9 +696,22 @@ class ArraySimulator:
                 f"but protocol was built for n={protocol.n}"
             )
         self._n = protocol.n
-        self._scheduler = UniformPairScheduler(
-            protocol.n, random_state, chunk_size=chunk_size
-        )
+        if topology is not None:
+            if topology.n != protocol.n:
+                raise SimulationLimitExceeded(
+                    f"topology was built for n={topology.n} "
+                    f"but protocol has n={protocol.n}"
+                )
+            from ..topologies.scheduler import TopologyScheduler
+
+            self._scheduler = TopologyScheduler(
+                topology, random_state, chunk_size=chunk_size
+            )
+        else:
+            self._scheduler = UniformPairScheduler(
+                protocol.n, random_state, chunk_size=chunk_size
+            )
+        self._topology = topology
         self._chunk_size = chunk_size
         self._metrics = metrics
         self._convergence_interval = (

@@ -90,6 +90,12 @@ class BackendCapability:
         Whether the backend can apply agent-level mid-run perturbation
         events (:mod:`repro.scenarios`) — requires real per-agent state
         the event appliers can rewrite between segments.
+    supports_topology:
+        Whether the backend can run cells on a restricted interaction
+        topology (:mod:`repro.topologies`) — requires an agent-level pair
+        stream the topology scheduler can inject into.  The count-level
+        engines answer complete-only: a state-count vector cannot see
+        which *agents* are adjacent.
     throughput_hint:
         Expected throughput relative to the reference simulator (1.0);
         the ``auto`` resolver maximizes this among supported backends.
@@ -102,6 +108,7 @@ class BackendCapability:
     exactness: str = ""
     supports_series: bool = True
     supports_events: bool = True
+    supports_topology: bool = True
     throughput_hint: float = 0.0
     reason: str = ""
 
@@ -132,6 +139,7 @@ class Backend(abc.ABC):
         events: bool = False,
         stop_on_convergence: bool = True,
         batch_seeds: int = 1,
+        topology: Optional[str] = None,
     ) -> BackendCapability:
         """Probe whether (and how well) this backend can run one cell.
 
@@ -143,7 +151,10 @@ class Backend(abc.ABC):
         scenario fires mid-run perturbation events, ``batch_seeds`` how
         many same-spec seeds would run as one group — backends that
         advance replicas in lockstep scale their throughput hint with it;
-        everyone else answers for one seed at a time.
+        everyone else answers for one seed at a time.  ``topology`` is
+        the restricted interaction-topology family name (``None`` for the
+        paper's complete graph); count-level backends answer
+        complete-only.
         """
 
     def create(self, protocol: PopulationProtocol, *, cache=None, **kwargs):
@@ -179,7 +190,7 @@ class ReferenceBackend(Backend):
 
     def capabilities(self, protocol, workload, n, *, series=False,
                      events=False, stop_on_convergence=True,
-                     batch_seeds=1):
+                     batch_seeds=1, topology=None):
         return BackendCapability(
             supported=True,
             exactness="trajectory",
@@ -215,7 +226,7 @@ class ArrayBackend(Backend):
 
     def capabilities(self, protocol, workload, n, *, series=False,
                      events=False, stop_on_convergence=True,
-                     batch_seeds=1):
+                     batch_seeds=1, topology=None):
         from .array_engine import _MAX_RANK
 
         declared = protocol.consumes_randomness()
@@ -284,7 +295,7 @@ class ArrayBatchedBackend(Backend):
 
     def capabilities(self, protocol, workload, n, *, series=False,
                      events=False, stop_on_convergence=True,
-                     batch_seeds=1):
+                     batch_seeds=1, topology=None):
         from .array_engine import _MAX_RANK
 
         if events:
@@ -351,7 +362,7 @@ class ArrayJitBackend(Backend):
 
     def capabilities(self, protocol, workload, n, *, series=False,
                      events=False, stop_on_convergence=True,
-                     batch_seeds=1):
+                     batch_seeds=1, topology=None):
         from .jit_engine import numba_unavailable_reason
 
         reason = numba_unavailable_reason()
@@ -402,7 +413,20 @@ class AggregateBackend(Backend):
 
     def capabilities(self, protocol, workload, n, *, series=False,
                      events=False, stop_on_convergence=True,
-                     batch_seeds=1):
+                     batch_seeds=1, topology=None):
+        if topology is not None:
+            return BackendCapability(
+                supported=False,
+                supports_series=False,
+                supports_events=False,
+                supports_topology=False,
+                reason=(
+                    "the aggregate engine's event decomposition assumes "
+                    "the uniform scheduler on the complete graph; a "
+                    f"restricted topology ({topology!r}) needs an "
+                    "agent-level pair stream"
+                ),
+            )
         if events:
             return BackendCapability(
                 supported=False,
@@ -480,7 +504,20 @@ class GroupCountBackend(Backend):
 
     def capabilities(self, protocol, workload, n, *, series=False,
                      events=False, stop_on_convergence=True,
-                     batch_seeds=1):
+                     batch_seeds=1, topology=None):
+        if topology is not None:
+            return BackendCapability(
+                supported=False,
+                supports_series=False,
+                supports_events=False,
+                supports_topology=False,
+                reason=(
+                    "lumping agents to state counts is only exact under "
+                    "the complete-graph uniform scheduler; a restricted "
+                    f"topology ({topology!r}) makes agent adjacency "
+                    "trajectory-relevant"
+                ),
+            )
         if events:
             return BackendCapability(
                 supported=False,
@@ -588,6 +625,7 @@ def resolve_backend(
     batch_seeds: int = 1,
     kinds: Optional[Sequence[str]] = None,
     exactness: Optional[str] = None,
+    topology: Optional[str] = None,
 ) -> Tuple[Backend, BackendCapability]:
     """Resolve an engine request for one cell into a capable backend.
 
@@ -603,6 +641,11 @@ def resolve_backend(
     of that class.  A cell that needs per-trajectory reproducibility pins
     ``"trajectory"``; a distribution-level scaling sweep pins
     ``"distribution"`` so the count engines compete on speed alone.
+
+    ``topology`` is the restricted-topology family name (``None`` for the
+    complete graph): backends that cannot inject a graph-restricted pair
+    stream answer unsupported, so ``"auto"`` routes restricted cells to
+    the agent-level engines.
     """
     if engine != AUTO_ENGINE:
         backend = get_backend(engine)
@@ -614,7 +657,7 @@ def resolve_backend(
         capability = backend.capabilities(
             protocol, workload, n, series=series, events=events,
             stop_on_convergence=stop_on_convergence,
-            batch_seeds=batch_seeds,
+            batch_seeds=batch_seeds, topology=topology,
         )
         if not capability.supported:
             raise ExperimentError(
@@ -637,7 +680,7 @@ def resolve_backend(
         capability = backend.capabilities(
             protocol, workload, n, series=series, events=events,
             stop_on_convergence=stop_on_convergence,
-            batch_seeds=batch_seeds,
+            batch_seeds=batch_seeds, topology=topology,
         )
         if not capability.supported:
             continue
@@ -664,12 +707,13 @@ def capability_matrix(
     series: bool = False,
     events: bool = False,
     batch_seeds: int = 1,
+    topology: Optional[str] = None,
 ) -> Dict[str, BackendCapability]:
     """Every backend's capability answer for one cell (diagnostics/CLI)."""
     return {
         name: backend.capabilities(
             protocol, workload, n, series=series, events=events,
-            batch_seeds=batch_seeds,
+            batch_seeds=batch_seeds, topology=topology,
         )
         for name, backend in _REGISTRY.items()
     }

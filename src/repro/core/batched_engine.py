@@ -156,9 +156,11 @@ class BatchedArraySimulator:
         max_dense_states: int = 64,
         cache: Optional[EngineCache] = None,
         use_soa_kernel: bool = False,
+        topology=None,
     ):
         if not protocols:
             raise ValueError("need at least one lane")
+        self._topology = topology
         self._protocols = list(protocols)
         lanes = len(self._protocols)
         n = self._protocols[0].n
@@ -223,11 +225,27 @@ class BatchedArraySimulator:
             return
 
         # Per-lane schedulers: the same constructor call (and therefore
-        # the same untouched generator) as the serial engine's.
-        self._schedulers = [
-            UniformPairScheduler(n, state, chunk_size=chunk_size)
-            for state in self._random_states
-        ]
+        # the same untouched generator) as the serial engine's.  With a
+        # topology, each lane gets its own scheduler (and pair stream /
+        # pending-delay state) over the one shared immutable graph —
+        # exactly what the serial engine builds per seed.
+        if topology is not None:
+            if topology.n != n:
+                raise SimulationLimitExceeded(
+                    f"topology was built for n={topology.n} "
+                    f"but protocols have n={n}"
+                )
+            from ..topologies.scheduler import TopologyScheduler
+
+            self._schedulers = [
+                TopologyScheduler(topology, state, chunk_size=chunk_size)
+                for state in self._random_states
+            ]
+        else:
+            self._schedulers = [
+                UniformPairScheduler(n, state, chunk_size=chunk_size)
+                for state in self._random_states
+            ]
         self._buffer = np.empty((lanes, chunk_size, 2), dtype=np.int64)
         self._cursor = chunk_size  # empty: first use refills
         self._lane_cursor = [chunk_size] * lanes  # object-path drain point
@@ -984,6 +1002,7 @@ class BatchedArraySimulator:
                 chunk_size=self._chunk,
                 max_dense_states=self._max_dense_states,
                 cache=self._cache,
+                topology=self._topology,
             )
             results.append(
                 simulator.run(max_interactions, stop_on_convergence)

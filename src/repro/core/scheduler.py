@@ -6,6 +6,16 @@ ordered pair of distinct agents is chosen uniformly at random from the
 that.  Because sampling one pair per Python call is slow, the scheduler also
 provides chunked sampling backed by numpy, which the simulator uses to
 amortize the random-number generation cost over many interactions.
+
+:class:`PairScheduler` is the seam other schedulers plug into: it owns the
+buffered one-at-a-time API (``sample`` / ``pairs``) and defines the single
+abstract primitive ``sample_chunk``.  ``sample()`` refills its buffer through
+``sample_chunk(chunk_size)``, so any subclass automatically satisfies the
+determinism contract the engines rely on — the reference simulator (buffered
+singles) and the array engines (whole chunks) issue *identical* generator
+calls and therefore see the same pair stream on the same seed.  The
+graph-restricted scheduler lives in :mod:`repro.topologies.scheduler` and
+subclasses this seam.
 """
 
 from __future__ import annotations
@@ -17,22 +27,19 @@ import numpy as np
 from .errors import ProtocolError
 from .rng import RandomState, make_rng
 
-__all__ = ["UniformPairScheduler"]
+__all__ = ["PairScheduler", "UniformPairScheduler"]
 
 
-class UniformPairScheduler:
-    """Samples ordered pairs of distinct agents uniformly at random.
+class PairScheduler:
+    """Base class for interaction-pair schedulers.
 
-    Parameters
-    ----------
-    n:
-        Population size.
-    random_state:
-        Seed or generator for the underlying randomness.
-    chunk_size:
-        Number of pairs pre-sampled per numpy call.  Larger chunks amortize
-        overhead better but delay nothing semantically: the sequence of pairs
-        is identical in distribution to one-at-a-time sampling.
+    Subclasses implement :meth:`sample_chunk`; the buffered single-pair API
+    is provided here and is *defined* as draining chunks of ``chunk_size``
+    pairs.  That definition is the bit-identity contract between engines:
+    consuming the stream pair-by-pair via :meth:`sample` advances the
+    underlying generator exactly as consuming it chunk-by-chunk via
+    :meth:`sample_chunk` does (provided both sides use the same
+    ``chunk_size``).
     """
 
     def __init__(
@@ -62,22 +69,24 @@ class UniformPairScheduler:
         return self._rng
 
     @property
-    def total_ordered_pairs(self) -> int:
-        """Number of possible ordered pairs, ``n·(n-1)``."""
-        return self._n * (self._n - 1)
+    def chunk_size(self) -> int:
+        """Pairs pre-sampled per refill (the bit-identity granularity)."""
+        return self._chunk_size
 
     # ------------------------------------------------------------------
     # Sampling
     # ------------------------------------------------------------------
+    def sample_chunk(self, count: int) -> np.ndarray:
+        """Return ``count`` ordered pairs as a ``(count, 2)`` integer array.
+
+        This is the one primitive subclasses implement.  It bypasses the
+        internal buffer and is consumed directly by array-based engines.
+        """
+        raise NotImplementedError
+
     def _refill(self) -> None:
         """Refill the internal buffer with a fresh chunk of ordered pairs."""
-        size = self._chunk_size
-        initiators = self._rng.integers(0, self._n, size=size)
-        responders = self._rng.integers(0, self._n - 1, size=size)
-        # Map the responder draw from {0, …, n-2} to {0, …, n-1} \ {initiator}
-        # so each ordered pair of *distinct* agents is equally likely.
-        responders = responders + (responders >= initiators)
-        self._buffer = np.stack([initiators, responders], axis=1)
+        self._buffer = self.sample_chunk(self._chunk_size)
         self._cursor = 0
 
     def sample(self) -> Tuple[int, int]:
@@ -88,20 +97,39 @@ class UniformPairScheduler:
         self._cursor += 1
         return int(pair[0]), int(pair[1])
 
-    def sample_chunk(self, count: int) -> np.ndarray:
-        """Return ``count`` ordered pairs as an ``(count, 2)`` integer array.
-
-        This bypasses the internal buffer and is intended for fast array-based
-        engines that consume whole chunks at once.
-        """
-        if count < 0:
-            raise ValueError(f"count must be non-negative, got {count}")
-        initiators = self._rng.integers(0, self._n, size=count)
-        responders = self._rng.integers(0, self._n - 1, size=count)
-        responders = responders + (responders >= initiators)
-        return np.stack([initiators, responders], axis=1)
-
     def pairs(self) -> Iterator[Tuple[int, int]]:
         """Infinite iterator over ordered pairs."""
         while True:
             yield self.sample()
+
+
+class UniformPairScheduler(PairScheduler):
+    """Samples ordered pairs of distinct agents uniformly at random.
+
+    Parameters
+    ----------
+    n:
+        Population size.
+    random_state:
+        Seed or generator for the underlying randomness.
+    chunk_size:
+        Number of pairs pre-sampled per numpy call.  Larger chunks amortize
+        overhead better but delay nothing semantically: the sequence of pairs
+        is identical in distribution to one-at-a-time sampling.
+    """
+
+    @property
+    def total_ordered_pairs(self) -> int:
+        """Number of possible ordered pairs, ``n·(n-1)``."""
+        return self._n * (self._n - 1)
+
+    def sample_chunk(self, count: int) -> np.ndarray:
+        """Return ``count`` uniform ordered pairs of distinct agents."""
+        if count < 0:
+            raise ValueError(f"count must be non-negative, got {count}")
+        initiators = self._rng.integers(0, self._n, size=count)
+        responders = self._rng.integers(0, self._n - 1, size=count)
+        # Map the responder draw from {0, …, n-2} to {0, …, n-1} \ {initiator}
+        # so each ordered pair of *distinct* agents is equally likely.
+        responders = responders + (responders >= initiators)
+        return np.stack([initiators, responders], axis=1)

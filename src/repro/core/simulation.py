@@ -192,6 +192,10 @@ class Simulator:
     on_event:
         Optional callback ``(interaction, initiator, responder, result)``
         invoked for every interaction whose transition reported a change.
+    topology:
+        Optional :class:`~repro.topologies.Topology` restricting (and
+        weighting) the pairs the scheduler may deliver.  ``None`` keeps the
+        paper's uniform scheduler on the complete graph.
     """
 
     def __init__(
@@ -202,6 +206,7 @@ class Simulator:
         metrics: Optional[MetricsCollector] = None,
         convergence_interval: Optional[int] = None,
         on_event: Optional[Callable[[int, int, int, TransitionResult], None]] = None,
+        topology=None,
     ):
         self._protocol = protocol
         self._configuration = (
@@ -213,7 +218,17 @@ class Simulator:
                 f"configuration has {self._configuration.population_size} agents "
                 f"but protocol was built for n={protocol.n}"
             )
-        self._scheduler = UniformPairScheduler(protocol.n, random_state)
+        if topology is not None:
+            if topology.n != protocol.n:
+                raise SimulationLimitExceeded(
+                    f"topology was built for n={topology.n} "
+                    f"but protocol has n={protocol.n}"
+                )
+            from ..topologies.scheduler import TopologyScheduler
+
+            self._scheduler = TopologyScheduler(topology, random_state)
+        else:
+            self._scheduler = UniformPairScheduler(protocol.n, random_state)
         self._metrics = metrics
         self._convergence_interval = (
             convergence_interval if convergence_interval is not None else protocol.n

@@ -39,6 +39,7 @@ from typing import List, Optional, Sequence
 
 from ..core.errors import ExperimentError
 from ..scenarios import get_scenario, scenario_names
+from ..topologies import describe_topology, topology_names
 from . import comparison as _comparison
 from . import epidemic as _epidemic
 from . import fault_injection as _fault
@@ -46,9 +47,10 @@ from . import fault_storm as _storm
 from . import figure2 as _figure2
 from . import figure3 as _figure3
 from . import scaling as _scaling
+from . import topology_sweep as _topo
 from .study import ResultSet, Study
 
-__all__ = ["main", "build_study"]
+__all__ = ["main", "build_study", "preset_specs"]
 
 
 def _parse_ints(values: Optional[List[str]], default: Sequence[int]) -> tuple:
@@ -203,6 +205,25 @@ def _fault_storm_render(result: ResultSet, args) -> str:
     )
 
 
+def _topology_sweep_specs(args):
+    return _topo.topology_sweep_specs(
+        topologies=_parse_strs(
+            getattr(args, "topology", None), _topo.SWEEP_TOPOLOGIES
+        ),
+        n_values=_parse_ints(args.n, _topo.SWEEP_POPULATION_SIZES),
+        repetitions=args.seeds if args.seeds is not None else 10,
+        engine=args.engine or "auto",
+        max_interactions_factor=args.max_factor or 50.0,
+        random_state=args.seed,
+    )
+
+
+def _topology_sweep_render(result: ResultSet, args) -> str:
+    return _topo.format_topology_sweep(
+        _topo.topology_sweep_result_from_rows(result)
+    )
+
+
 EXPERIMENTS = {
     "figure2": {
         "help": "Figure 2: ranked agents + average phase vs time (worst case start)",
@@ -239,6 +260,12 @@ EXPERIMENTS = {
         "specs": _fault_storm_specs,
         "render": _fault_storm_render,
     },
+    "topology_sweep": {
+        "help": "Epidemic completion on ring/grid/power-law vs complete, "
+                "with the Herman ring band overlay",
+        "specs": _topology_sweep_specs,
+        "render": _topology_sweep_render,
+    },
 }
 
 
@@ -268,6 +295,31 @@ def _scenario_matrix_lines() -> List[str]:
         )
         if scenario.description:
             lines.append(f"  {'':<{width}}  {scenario.description}")
+    return lines
+
+
+def _topology_matrix_lines(n: int = 64) -> List[str]:
+    """One line per registered topology family: kind + degree profile.
+
+    Built at a fixed default size so the random families show concrete
+    edge counts; a family whose defaults cannot build at that size must
+    not break the whole listing.
+    """
+    lines = ["", f"topologies (interaction graphs, shown at n={n}):"]
+    width = max(len(name) for name in topology_names())
+    for name in topology_names():
+        try:
+            info = describe_topology(name, n)
+        except ExperimentError as error:
+            lines.append(f"  {name:<{width}}  unavailable ({error})")
+            continue
+        lines.append(
+            f"  {name:<{width}}  kind={info['kind']:<9} "
+            f"pairs={info['pairs']:<6} "
+            f"degree min/mean/max = {info['deg_min']}/"
+            f"{info['deg_mean']:.1f}/{info['deg_max']}"
+        )
+        lines.append(f"  {'':<{width}}  {info['description']}")
     return lines
 
 
@@ -306,6 +358,61 @@ def build_study(experiment: str, args) -> Study:
     return Study(specs, name=experiment, store=store, jobs=args.jobs)
 
 
+def preset_specs(experiment: str, overrides: Optional[dict] = None) -> tuple:
+    """Build a preset's specs programmatically (the HTTP submission path).
+
+    ``overrides`` maps CLI option names — with dashes or underscores
+    (``{"n": "64", "seeds": 2, "max_factor": 30}``) — onto the preset's
+    ``run`` arguments; anything the parser would reject raises
+    :class:`ExperimentError` instead of exiting the process.  Used by
+    ``repro serve`` to accept ``{"preset": "figure2", ...overrides}``
+    submissions with exactly the CLI's defaulting rules.
+    """
+    if experiment not in EXPERIMENTS:
+        raise ExperimentError(
+            f"unknown experiment {experiment!r}; known: "
+            f"{', '.join(sorted(EXPERIMENTS))}"
+        )
+    parser = _build_parser()
+    args = parser.parse_args(["run", experiment])
+    for key, value in dict(overrides or {}).items():
+        name = str(key).replace("-", "_")
+        if name in ("experiment", "out", "no_store", "jobs"):
+            raise ExperimentError(
+                f"preset override {key!r} is not a spec option"
+            )
+        if not hasattr(args, name):
+            raise ExperimentError(
+                f"unknown preset override {key!r} for {experiment!r}"
+            )
+        default = getattr(args, name)
+        if name == "n":
+            # argparse collects --n with action="append"; accept ints,
+            # strings ("64,128") or lists of either.
+            items = value if isinstance(value, (list, tuple)) else [value]
+            value = [str(item) for item in items]
+        elif isinstance(default, bool):
+            value = bool(value)
+        elif isinstance(default, int) and not isinstance(value, bool):
+            value = int(value)
+        elif isinstance(default, float):
+            value = float(value)
+        elif default is not None or value is not None:
+            if name in ("seeds", "events"):
+                value = int(value)
+            elif name in ("max_factor", "period_factor"):
+                value = float(value)
+            elif value is not None:
+                value = str(value)
+        setattr(args, name, value)
+    try:
+        return tuple(EXPERIMENTS[experiment]["specs"](args))
+    except (TypeError, ValueError) as error:
+        raise ExperimentError(
+            f"invalid overrides for preset {experiment!r}: {error}"
+        ) from None
+
+
 def _build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="python -m repro",
@@ -319,6 +426,11 @@ def _build_parser() -> argparse.ArgumentParser:
     list_parser.add_argument(
         "--scenarios", action="store_true",
         help="also print the scenario matrix (workload + event schedule)",
+    )
+    list_parser.add_argument(
+        "--topologies", action="store_true",
+        help="also print the topology matrix (interaction-graph families "
+             "and their degree profiles)",
     )
     list_parser.add_argument(
         "--studies", metavar="DIR", default=None,
@@ -363,6 +475,11 @@ def _build_parser() -> argparse.ArgumentParser:
     run.add_argument("--scenario", default=None,
                      help="fault_storm: event-bearing scenario to run "
                           "(see `python -m repro list --scenarios`)")
+    run.add_argument("--topology", default=None,
+                     help="topology_sweep: comma-separated topology "
+                          "families to sweep next to the complete "
+                          "baseline (see `python -m repro list "
+                          "--topologies`)")
     run.add_argument("--events", type=int, default=None,
                      help="fault_storm: number of scheduled events")
     run.add_argument("--period-factor", type=float, default=None,
@@ -669,6 +786,9 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         if args.command == "list":
             if getattr(args, "scenarios", False):
                 for line in _scenario_matrix_lines():
+                    print(line)
+            if getattr(args, "topologies", False):
+                for line in _topology_matrix_lines():
                     print(line)
             for line in _capability_matrix_lines(parser):
                 print(line)

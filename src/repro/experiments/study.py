@@ -67,6 +67,8 @@ from ..protocols.ranking.aggregate_space_efficient import (
 from ..protocols.ranking.space_efficient import SpaceEfficientRanking
 from ..protocols.ranking.stable_ranking import StableRanking
 from ..scenarios import bind_schedule, get_scenario
+from ..topologies import build_topology as _build_topology
+from ..topologies import get_topology as _get_topology
 from .store import ResultStore
 from . import workloads as _workloads
 
@@ -253,6 +255,18 @@ class ExperimentSpec:
     random_state:
         Root seed; every cell derives its generator deterministically
         from this, the spec identity and the cell coordinates.
+    topology:
+        Optional name from the topology registry
+        (:mod:`repro.topologies`) restricting which agent pairs the
+        scheduler may deliver.  ``"complete"`` (with no parameters)
+        normalizes to ``None`` — the paper's uniform scheduler and the
+        exact legacy spec identity.  A restricted topology joins the
+        identity hash, is built deterministically per ``n`` (all seeds of
+        a cell share one graph), and restricts backend resolution to
+        agent-level engines (the count engines answer complete-only).
+    topology_params:
+        Keyword arguments for the topology family (e.g. ``degree`` for
+        ``random_regular``, ``base``/``delay`` for ``delayed``).
     """
 
     variant: str
@@ -272,6 +286,8 @@ class ExperimentSpec:
     samples: int = 0
     extractors: Tuple[str, ...] = ()
     random_state: int = 0
+    topology: Optional[str] = None
+    topology_params: Mapping[str, object] = field(default_factory=dict)
 
     def __post_init__(self):
         object.__setattr__(self, "n_values", tuple(int(n) for n in self.n_values))
@@ -284,6 +300,8 @@ class ExperimentSpec:
         object.__setattr__(self, "protocol_params", dict(self.protocol_params))
         object.__setattr__(self, "workload_params", dict(self.workload_params))
         object.__setattr__(self, "scenario_params", dict(self.scenario_params))
+        object.__setattr__(self, "topology_params", dict(self.topology_params))
+        self._normalize_topology()
         if self.scenario is not None:
             self._normalize_scenario()
         if self.engine not in _backends.engine_choices():
@@ -326,6 +344,36 @@ class ExperimentSpec:
                     self.resolve_backend(n)
                 _VALIDATED_MATRICES.add(memo_key)
 
+    def _normalize_topology(self) -> None:
+        """Resolve the topology name and fold the complete graph onto ``None``.
+
+        ``topology="complete"`` with no parameters *is* the paper's
+        uniform scheduler, so it normalizes to the unset field — the
+        spec's identity hash (and therefore its store directory and every
+        cell trajectory) is shared between the two spellings, exactly
+        like static scenarios folding onto their workload alias.  A
+        restricted topology is validated for every ``n`` of the matrix by
+        building it (construction is cached per process, so this warms
+        the graphs the cells will sample).
+        """
+        if self.topology is None:
+            if self.topology_params:
+                raise ExperimentError(
+                    "topology_params given without a topology family"
+                )
+            return
+        _get_topology(self.topology)
+        if self.topology == "complete":
+            if self.topology_params:
+                raise ExperimentError(
+                    "topology 'complete' takes no parameters; "
+                    f"got {sorted(self.topology_params)}"
+                )
+            object.__setattr__(self, "topology", None)
+            return
+        for n in self.n_values:
+            _build_topology(self.topology, n, self.topology_params)
+
     def _normalize_scenario(self) -> None:
         """Resolve the scenario name and fold static scenarios onto workloads.
 
@@ -360,8 +408,9 @@ class ExperimentSpec:
         """The full spec as JSON-ready data (matrix extent included).
 
         The ``scenario`` keys appear only for event-bearing scenarios,
-        and ``exactness`` only when pinned, so legacy specs serialize —
-        and hash — exactly as they did before those fields existed.
+        ``exactness`` only when pinned, and the ``topology`` keys only
+        for restricted topologies, so legacy specs serialize — and
+        hash — exactly as they did before those fields existed.
         """
         payload = {
             "variant": self.variant,
@@ -384,6 +433,9 @@ class ExperimentSpec:
             payload["scenario_params"] = dict(self.scenario_params)
         if self.exactness is not None:
             payload["exactness"] = self.exactness
+        if self.topology is not None:
+            payload["topology"] = self.topology
+            payload["topology_params"] = dict(self.topology_params)
         return payload
 
     @classmethod
@@ -426,6 +478,16 @@ class ExperimentSpec:
         """Construct the protocol instance for one population size."""
         return PROTOCOLS[self.protocol](n, **self.protocol_params)
 
+    def build_topology(self, n: int):
+        """The cell topology for one population size, or ``None``.
+
+        Deterministic in the spec and ``n`` (and cached per process), so
+        every seed, worker and resume samples the same graph.
+        """
+        if self.topology is None:
+            return None
+        return _build_topology(self.topology, n, self.topology_params)
+
     def build_schedule(self, n: int):
         """The scenario's event schedule for one population size.
 
@@ -466,6 +528,7 @@ class ExperimentSpec:
             batch_seeds=batch_seeds,
             kinds=("agent",) if self.extractors else None,
             exactness=self.exactness,
+            topology=self.topology,
         )
 
     def resolve_backend(self, n: int) -> str:
@@ -492,6 +555,9 @@ class RunRow:
     #: Exactness class of the backend that served the cell
     #: (``"trajectory"`` or ``"distribution"``; empty in legacy rows).
     exactness: str = ""
+    #: Interaction-topology family the cell ran on (``"complete"`` for
+    #: the paper's uniform scheduler; legacy rows load as complete).
+    topology: str = "complete"
     extras: Dict[str, float] = field(default_factory=dict)
     #: milestone name → first interaction count at which it held.
     milestones: Dict[str, int] = field(default_factory=dict)
@@ -521,6 +587,7 @@ class RunRow:
             "interactions": self.interactions,
             "resets": self.resets,
             "exactness": self.exactness,
+            "topology": self.topology,
             "extras": dict(self.extras),
             "milestones": dict(self.milestones),
             "series": self.series,
@@ -540,6 +607,7 @@ class RunRow:
             interactions=int(payload["interactions"]),
             resets=int(payload["resets"]),
             exactness=str(payload.get("exactness", "")),
+            topology=str(payload.get("topology", "complete")),
             extras=dict(payload.get("extras", {})),
             milestones={
                 name: int(value)
@@ -562,6 +630,7 @@ class RunRow:
             "normalized_interactions": self.normalized_interactions,
             "resets": self.resets,
             "exactness": self.exactness,
+            "topology": self.topology,
         }
         row.update(self.extras)
         row.update(self.milestones)
@@ -736,6 +805,7 @@ def execute_cell(spec_payload: Mapping, n: int, seed_index: int) -> dict:
         stop_on_convergence=spec.stop_on_convergence,
         kinds=("agent",) if spec.extractors else None,
         exactness=spec.exactness,
+        topology=spec.topology,
     )
     if backend.kind == "aggregate":
         return _execute_aggregate(spec, n, seed_index, run_seq, backend,
@@ -998,6 +1068,10 @@ def execute_batch(
     cache = None
     if backend.uses_cache:
         cache = _shared_cache(spec, n)
+    batch_kwargs = {}
+    cell_topology = spec.build_topology(n)
+    if cell_topology is not None:
+        batch_kwargs["topology"] = cell_topology
     simulator = backend.create_batch(
         protocols,
         configurations=configurations,
@@ -1005,6 +1079,7 @@ def execute_batch(
         metrics=collectors if collectors else None,
         cache=cache,
         convergence_interval=n,
+        **batch_kwargs,
     )
     results = simulator.run(
         budget, stop_on_convergence=spec.stop_on_convergence
@@ -1036,6 +1111,7 @@ def execute_batch(
             interactions=result.interactions,
             resets=result.resets,
             exactness=capability.exactness,
+            topology=spec.topology or "complete",
             extras=extras,
             milestones={},
             series=series,
@@ -1067,6 +1143,10 @@ def _execute_agent_level(
     # which engine a cell resolved to.  Tabulating backends are
     # bit-identical to the reference per interaction, so with the cadence
     # matched their *rows* are identical too.
+    create_kwargs = {}
+    cell_topology = spec.build_topology(n)
+    if cell_topology is not None:
+        create_kwargs["topology"] = cell_topology
     simulator = backend.create(
         protocol,
         configuration=configuration,
@@ -1074,6 +1154,7 @@ def _execute_agent_level(
         metrics=metrics,
         cache=cache,
         convergence_interval=n,
+        **create_kwargs,
     )
 
     milestones: Dict[str, int] = {}
@@ -1159,6 +1240,7 @@ def _execute_agent_level(
         interactions=interactions,
         resets=resets,
         exactness=capability.exactness,
+        topology=spec.topology or "complete",
         extras=extras,
         milestones=milestones,
         series=series,

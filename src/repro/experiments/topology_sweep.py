@@ -1,0 +1,221 @@
+"""Topology sweep — stabilization across interaction topologies vs complete.
+
+The paper's schedulers draw uniform pairs from the complete interaction
+graph; the topology subsystem (:mod:`repro.topologies`) restricts the
+sampler to a named family instead.  This preset measures how the
+restriction changes stabilization: it runs the one-way epidemic — the
+primitive whose completion time the paper's Lemma 14 bounds on the
+complete graph — on each requested topology family plus the complete
+baseline, and renders the measured interaction counts against the exact
+expectations and the Herman-style ring band from
+:mod:`repro.analysis.theory`.
+
+The epidemic is the right probe because its spread time is topology
+sensitive in a way the theory pins down exactly: ``2(n-1)·H(n-1)``
+(``Θ(n log n)``) on the complete graph versus ``n(n-1)`` (``Θ(n²)``) on
+the ring, with the Herman self-stabilization bounds ``[4n²/27, 0.64·n²]``
+bracketing the same ``Θ(n²)`` ring regime.  (The ranking protocols
+themselves rely on complete-graph mixing and generally do not stabilize
+under a restricted topology — measuring that non-convergence is a
+different experiment.)
+
+Restricted-topology cells are agent level by construction: the
+aggregate and group-count engines decline them during capability
+negotiation, so ``engine="auto"`` resolves every restricted cell to a
+concrete agent-level backend (see ``docs/topologies.md``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..analysis.statistics import summarize
+from ..analysis.theory import (
+    complete_epidemic_expected_interactions,
+    herman_ring_conjectured_bound,
+    herman_ring_upper_bound,
+    ring_epidemic_expected_interactions,
+)
+from ..core.errors import ExperimentError
+from ..topologies import topology_names
+from .ascii_plot import format_table
+from .study import ExperimentSpec, ResultSet
+
+__all__ = [
+    "TopologySweepResult",
+    "topology_sweep_specs",
+    "topology_sweep_result_from_rows",
+    "format_topology_sweep",
+    "SWEEP_TOPOLOGIES",
+    "SWEEP_POPULATION_SIZES",
+]
+
+#: Restricted families swept by default, next to the complete baseline.
+SWEEP_TOPOLOGIES = ("ring", "grid2d", "power_law")
+
+#: Default population sizes — small enough for the Θ(n²) ring regime to
+#: finish quickly at agent level, large enough for the shapes to separate.
+SWEEP_POPULATION_SIZES = (16, 32, 64)
+
+#: The complete-graph baseline variant every sweep includes.
+BASELINE = "complete"
+
+
+def _expected_interactions(topology: str, n: int) -> Optional[float]:
+    """Exact expected epidemic completion where the theory pins it down."""
+    if topology == BASELINE:
+        return complete_epidemic_expected_interactions(n)
+    if topology == "ring":
+        return ring_epidemic_expected_interactions(n)
+    return None
+
+
+@dataclass
+class TopologySweepResult:
+    """Epidemic completion times per (topology, population size)."""
+
+    topologies: Sequence[str]
+    n_values: Sequence[int]
+    repetitions: int
+    engine: str
+    #: interactions[topology][n] = completion interactions, one per run.
+    interactions: Dict[str, Dict[int, List[int]]] = field(default_factory=dict)
+
+    def mean(self, topology: str, n: int) -> float:
+        return summarize(self.interactions[topology][n]).mean
+
+    def rows(self) -> List[dict]:
+        rows = []
+        for topology in self.topologies:
+            for n in self.n_values:
+                raw = summarize(self.interactions[topology][n])
+                expected = _expected_interactions(topology, n)
+                row = {
+                    "topology": topology,
+                    "n": n,
+                    "mean_interactions": raw.mean,
+                    "mean_over_n2": raw.mean / (n * n),
+                    "vs_complete": raw.mean / self.mean(BASELINE, n),
+                    "expected": expected,
+                    "mean_over_expected": (
+                        raw.mean / expected if expected else None
+                    ),
+                    "runs": raw.count,
+                }
+                rows.append(row)
+        return rows
+
+    def herman_band_lines(self) -> List[str]:
+        """The Herman ring band next to the measured ring means."""
+        if "ring" not in self.topologies:
+            return []
+        lines = [
+            "",
+            "Herman ring band (Θ(n²) self-stabilization bounds bracketing "
+            "the ring regime):",
+        ]
+        for n in self.n_values:
+            low = herman_ring_conjectured_bound(n)
+            high = herman_ring_upper_bound(n)
+            measured = self.mean("ring", n)
+            lines.append(
+                f"  n={n:<6} measured ring mean {measured:>12.1f}   "
+                f"4n²/27 = {low:>10.1f}   0.64n² = {high:>10.1f}   "
+                f"measured/n² = {measured / (n * n):.3f}"
+            )
+        return lines
+
+
+def topology_sweep_specs(
+    topologies: Sequence[str] = SWEEP_TOPOLOGIES,
+    n_values: Sequence[int] = SWEEP_POPULATION_SIZES,
+    repetitions: int = 10,
+    engine: str = "auto",
+    max_interactions_factor: float = 50.0,
+    random_state: int = 0,
+) -> Tuple[ExperimentSpec, ...]:
+    """The topology sweep as declarative specs: complete baseline first,
+    then one variant per restricted family.
+
+    ``engine="auto"`` routes the complete baseline through the normal
+    negotiation and every restricted cell to a concrete agent-level
+    backend (aggregate/group decline topology-restricted cells).  The
+    interaction budget is ``max_interactions_factor · n²`` — the ring
+    epidemic completes in ``n(n-1)`` expected interactions, so the
+    default factor of 50 leaves a wide w.h.p. margin.
+    """
+    if not topologies:
+        raise ExperimentError("topology sweep needs at least one topology")
+    known = set(topology_names())
+    specs = []
+    seen = set()
+    for topology in (BASELINE, *topologies):
+        if topology in seen:
+            continue
+        seen.add(topology)
+        if topology not in known:
+            raise ExperimentError(
+                f"unknown topology {topology!r}; choices: "
+                f"{', '.join(topology_names())}"
+            )
+        specs.append(
+            ExperimentSpec(
+                variant=topology,
+                protocol="one-way-epidemic",
+                n_values=tuple(n_values),
+                seeds=repetitions,
+                engine=engine,
+                workload="fresh",
+                topology=None if topology == BASELINE else topology,
+                max_interactions_factor=float(max_interactions_factor),
+                random_state=random_state,
+            )
+        )
+    return tuple(specs)
+
+
+def topology_sweep_result_from_rows(result: ResultSet) -> TopologySweepResult:
+    """Collect the study rows into a :class:`TopologySweepResult`."""
+    spec = result.specs[0]
+    topologies = tuple(s.variant for s in result.specs)
+    engines = sorted({row.engine for row in result.rows}) or [spec.engine]
+    out = TopologySweepResult(
+        topologies=topologies,
+        n_values=tuple(spec.n_values),
+        repetitions=spec.seeds,
+        engine="/".join(engines),
+    )
+    for topology in topologies:
+        per_n: Dict[int, List[int]] = {}
+        for n in spec.n_values:
+            times: List[int] = []
+            for row in result.filter(variant=topology, n=n).rows:
+                if not row.converged:
+                    raise ExperimentError(
+                        f"epidemic on topology {topology!r} for n={n} "
+                        f"(seed {row.seed_index}) did not complete within "
+                        f"budget"
+                    )
+                times.append(row.interactions)
+            per_n[n] = times
+        out.interactions[topology] = per_n
+    return out
+
+
+def format_topology_sweep(result: TopologySweepResult) -> str:
+    """Text table: measured completion per topology vs the exact theory.
+
+    The ``expected`` column is the exact expectation where the theory
+    pins it down (``2(n-1)·H(n-1)`` complete, ``n(n-1)`` ring); the
+    Herman band lines below bracket the ring's ``Θ(n²)`` regime.
+    """
+    header = (
+        f"Topology sweep — one-way epidemic completion interactions per "
+        f"interaction topology ({result.engine} engine, "
+        f"{result.repetitions} runs per cell).  'expected' is the exact "
+        f"expectation where known; 'vs_complete' is the slowdown against "
+        f"the complete-graph baseline."
+    )
+    body = format_table(result.rows())
+    return "\n".join([header, body, *result.herman_band_lines()])

@@ -77,16 +77,44 @@ class StudyService:
     def submit(self, payload: dict) -> dict:
         """Create/extend a study from a submission and enqueue its cells.
 
-        ``payload`` is ``{"name": str, "specs": [spec dicts]}`` with each
-        spec dict in :meth:`ExperimentSpec.as_dict` form.  Returns the
-        study summary (id, directory, enqueued jobs, progress).
+        ``payload`` is either ``{"name": str, "specs": [spec dicts]}``
+        with each spec dict in :meth:`ExperimentSpec.as_dict` form, or a
+        preset submission ``{"preset": "figure2", ...overrides}`` whose
+        remaining keys override the preset's CLI options (``n``,
+        ``seeds``, ``engine``, ``topology``, ``max_factor``, ...) — the
+        specs are then built by the exact code path ``python -m repro
+        run`` uses, including its defaults.  Returns the study summary
+        (id, directory, enqueued jobs, progress).
         """
-        if not isinstance(payload, dict) or "specs" not in payload:
+        if not isinstance(payload, dict) or not (
+            "specs" in payload or "preset" in payload
+        ):
             raise ExperimentError(
-                'submission must be {"name": ..., "specs": [...]}'
+                'submission must be {"name": ..., "specs": [...]} or '
+                '{"preset": ..., ...overrides}'
             )
-        name = str(payload.get("name", "study"))
-        specs = [ExperimentSpec.from_dict(spec) for spec in payload["specs"]]
+        if "preset" in payload:
+            # Imported lazily: the CLI imports the serving package for
+            # `repro serve`, so a module-level import would be a cycle.
+            from ..experiments.cli import preset_specs
+
+            overrides = {
+                key: value
+                for key, value in payload.items()
+                if key not in ("preset", "name", "specs")
+            }
+            if "specs" in payload:
+                raise ExperimentError(
+                    "a submission is either raw specs or a preset, not both"
+                )
+            preset = str(payload["preset"])
+            name = str(payload.get("name", preset))
+            specs = list(preset_specs(preset, overrides))
+        else:
+            name = str(payload.get("name", "study"))
+            specs = [
+                ExperimentSpec.from_dict(spec) for spec in payload["specs"]
+            ]
         study = Study(specs, name=name, store=self._root)
         store = study.store
         store.write_spec(

@@ -1,0 +1,48 @@
+"""Interaction-topology subsystem: graph-restricted and async schedulers.
+
+See :mod:`repro.topologies.topology` for the family registry and the
+determinism contract, and :mod:`repro.topologies.scheduler` for the
+``sample_chunk``-compatible scheduler the engines consume.
+"""
+
+from .sampling import AliasSampler, build_csr, connected_components
+from .scheduler import DelayedPairStream, DirectPairStream, TopologyScheduler
+from .topology import (
+    DELAY_DISTRIBUTIONS,
+    CompleteTopology,
+    DelayedTopology,
+    ErdosRenyiTopology,
+    Grid2dTopology,
+    PowerLawTopology,
+    RandomRegularTopology,
+    RingTopology,
+    Topology,
+    build_topology,
+    describe_topology,
+    get_topology,
+    register_topology,
+    topology_names,
+)
+
+__all__ = [
+    "AliasSampler",
+    "build_csr",
+    "connected_components",
+    "TopologyScheduler",
+    "DirectPairStream",
+    "DelayedPairStream",
+    "Topology",
+    "CompleteTopology",
+    "RingTopology",
+    "Grid2dTopology",
+    "RandomRegularTopology",
+    "ErdosRenyiTopology",
+    "PowerLawTopology",
+    "DelayedTopology",
+    "DELAY_DISTRIBUTIONS",
+    "register_topology",
+    "get_topology",
+    "topology_names",
+    "build_topology",
+    "describe_topology",
+]

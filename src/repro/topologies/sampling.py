@@ -1,0 +1,129 @@
+"""Compact edge-set representations and weighted samplers.
+
+Two primitives back the arbitrary-graph topology families:
+
+* :func:`build_csr` — a CSR (compressed sparse row) adjacency built from an
+  undirected edge multiset.  Multi-edges are kept: a repeated edge appears
+  twice in its endpoints' neighbor slices, which makes its sampling weight
+  proportional to its multiplicity with no extra bookkeeping.
+* :class:`AliasSampler` — Vose's alias method for O(1) draws from a fixed
+  discrete distribution.  The topology scheduler uses it to pick interaction
+  *initiators* proportionally to degree; combined with a uniform neighbor
+  slot this yields the uniform distribution over directed edge slots
+  (probability ``1 / (2·m)`` per stub for a graph with ``m`` undirected
+  edges).
+
+Both are deterministic functions of their inputs — construction draws no
+randomness — so a topology built from a seed-derived edge list is fully
+reproducible across processes.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+__all__ = ["AliasSampler", "build_csr", "connected_components"]
+
+
+class AliasSampler:
+    """O(1) sampling from a fixed discrete distribution (Vose's method).
+
+    Parameters
+    ----------
+    weights:
+        Non-negative weights, at least one positive.  Normalized internally.
+    """
+
+    def __init__(self, weights: np.ndarray):
+        weights = np.asarray(weights, dtype=np.float64)
+        if weights.ndim != 1 or len(weights) == 0:
+            raise ValueError("weights must be a non-empty 1-d array")
+        if np.any(weights < 0):
+            raise ValueError("weights must be non-negative")
+        total = float(weights.sum())
+        if total <= 0:
+            raise ValueError("weights must have positive sum")
+        k = len(weights)
+        scaled = weights * (k / total)
+        prob = np.ones(k, dtype=np.float64)
+        alias = np.arange(k, dtype=np.int64)
+        small = [i for i in range(k) if scaled[i] < 1.0]
+        large = [i for i in range(k) if scaled[i] >= 1.0]
+        while small and large:
+            lo = small.pop()
+            hi = large.pop()
+            prob[lo] = scaled[lo]
+            alias[lo] = hi
+            scaled[hi] = (scaled[hi] + scaled[lo]) - 1.0
+            if scaled[hi] < 1.0:
+                small.append(hi)
+            else:
+                large.append(hi)
+        # Whatever remains is 1.0 up to float error; keep prob == 1 for it.
+        self._prob = prob
+        self._alias = alias
+        self._k = k
+
+    def __len__(self) -> int:
+        return self._k
+
+    def sample(self, rng: np.random.Generator, count: int) -> np.ndarray:
+        """Draw ``count`` indices; consumes one ``integers`` and one
+        ``random`` call of size ``count`` regardless of the weights."""
+        idx = rng.integers(0, self._k, size=count)
+        u = rng.random(count)
+        return np.where(u < self._prob[idx], idx, self._alias[idx])
+
+
+def build_csr(
+    n: int, edges: np.ndarray
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """CSR adjacency ``(indptr, indices, degrees)`` from undirected edges.
+
+    ``edges`` is an ``(m, 2)`` integer array of undirected edges (multi-edges
+    allowed, self-loops rejected).  Each edge contributes a stub in both
+    directions.  Neighbor slices are sorted, so the CSR layout is a canonical
+    function of the edge *multiset* — the order edges were generated in does
+    not leak into the sampling stream.
+    """
+    edges = np.asarray(edges, dtype=np.int64)
+    if edges.ndim != 2 or edges.shape[1] != 2:
+        raise ValueError(f"edges must be an (m, 2) array, got {edges.shape}")
+    if len(edges) and (edges.min() < 0 or edges.max() >= n):
+        raise ValueError("edge endpoints out of range")
+    if np.any(edges[:, 0] == edges[:, 1]):
+        raise ValueError("self-loops are not allowed")
+    stubs_from = np.concatenate([edges[:, 0], edges[:, 1]])
+    stubs_to = np.concatenate([edges[:, 1], edges[:, 0]])
+    order = np.lexsort((stubs_to, stubs_from))
+    stubs_from = stubs_from[order]
+    stubs_to = stubs_to[order]
+    degrees = np.bincount(stubs_from, minlength=n).astype(np.int64)
+    indptr = np.zeros(n + 1, dtype=np.int64)
+    np.cumsum(degrees, out=indptr[1:])
+    return indptr, stubs_to.astype(np.int64), degrees
+
+
+def connected_components(n: int, edges: np.ndarray) -> np.ndarray:
+    """Component label per node (union-find), labels are component minima."""
+    parent = np.arange(n, dtype=np.int64)
+
+    def find(x: int) -> int:
+        root = x
+        while parent[root] != root:
+            root = parent[root]
+        while parent[x] != root:
+            parent[x], x = root, int(parent[x])
+        return root
+
+    for a, b in np.asarray(edges, dtype=np.int64):
+        ra, rb = find(int(a)), find(int(b))
+        if ra != rb:
+            if ra < rb:
+                parent[rb] = ra
+            else:
+                parent[ra] = rb
+    labels = np.array([find(i) for i in range(n)], dtype=np.int64)
+    return labels

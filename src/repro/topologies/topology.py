@@ -1,0 +1,715 @@
+"""Interaction topologies: named graph families with weighted pair sampling.
+
+The paper's model runs the uniform random scheduler on the *complete*
+interaction graph.  A :class:`Topology` restricts which ordered pairs the
+scheduler may deliver: each step samples a directed edge *slot* uniformly at
+random, so a pair's probability is proportional to its slot weight (its
+multiplicity for multigraphs).  Two representations keep that cheap:
+
+* **implicit** families (``complete``, ``ring``, ``grid2d``) sample slots
+  arithmetically — a uniform agent plus a uniform direction — and never
+  materialize an edge list;
+* **CSR** families (``random_regular``, ``erdos_renyi``, ``power_law``)
+  build a seed-derived edge multiset once, store it as CSR adjacency, and
+  sample a degree-weighted initiator (alias method) followed by a uniform
+  neighbor slot — exactly the uniform distribution over directed stubs.
+
+The async ``delayed`` wrapper composes on top of any base family: every
+sampled interaction is pushed onto a pending queue with a seed-derived
+delay and delivered when it is the earliest due, modelling message latency
+while preserving the one-pair-per-step engine contract.
+
+Determinism contract
+--------------------
+Construction is a pure function of ``(family, n, params)``: random families
+derive their graph from a dedicated :class:`numpy.random.SeedSequence` whose
+entropy is a hash of exactly those coordinates (plus an optional
+``graph_seed`` parameter), *never* from the simulation stream.  All seeds of
+a study cell therefore share one graph, the graph is identical across
+processes, and the topology is part of the cell's identity hash through the
+spec's ``topology`` / ``topology_params`` fields.  Sampling draws a fixed
+call pattern per chunk (sizes depend only on the requested count), which is
+what keeps reference and array engines bit-identical on the same seed.
+
+The registry mirrors :mod:`repro.core.backends` and
+:mod:`repro.scenarios.scenario`: families are looked up by name
+(:func:`get_topology`), user code extends the set with
+:func:`register_topology`, and registration must happen at import time of a
+module that worker processes also import.
+"""
+
+from __future__ import annotations
+
+import abc
+import hashlib
+import json
+from typing import Dict, Mapping, Optional, Tuple, Type
+
+import numpy as np
+
+from ..core.errors import ExperimentError
+from .sampling import AliasSampler, build_csr, connected_components
+
+__all__ = [
+    "Topology",
+    "CompleteTopology",
+    "RingTopology",
+    "Grid2dTopology",
+    "RandomRegularTopology",
+    "ErdosRenyiTopology",
+    "PowerLawTopology",
+    "DelayedTopology",
+    "register_topology",
+    "get_topology",
+    "topology_names",
+    "build_topology",
+    "describe_topology",
+    "DELAY_DISTRIBUTIONS",
+]
+
+
+def _graph_rng(family: str, n: int, params: Mapping, graph_seed: int) -> np.random.Generator:
+    """Dedicated generator for seed-derived graph construction.
+
+    Entropy is a stable hash of the topology coordinates — independent of
+    the simulation seed, identical across processes and Python hash
+    randomization.
+    """
+    canonical = json.dumps(
+        {"family": family, "n": n, "params": dict(sorted(params.items())),
+         "graph_seed": graph_seed},
+        sort_keys=True, default=str,
+    )
+    digest = hashlib.sha256(canonical.encode()).digest()
+    entropy = [int.from_bytes(digest[i:i + 8], "big") for i in range(0, 32, 8)]
+    return np.random.default_rng(np.random.SeedSequence(entropy))
+
+
+class Topology(abc.ABC):
+    """An immutable interaction graph with weighted ordered-pair sampling.
+
+    Subclasses set the class attributes and implement
+    :meth:`sample_pairs` plus :meth:`pair_distribution`.  Instances hold no
+    sampling state — per-run state (buffers, pending-delay queues) lives in
+    the scheduler's stream, so one topology object can back many runs.
+    """
+
+    #: Registry name of the family (e.g. ``"ring"``).
+    family: str = ""
+    #: Representation kind: ``"implicit"``, ``"csr"`` or ``"wrapper"``.
+    kind: str = "implicit"
+    #: One-line description for the operator matrix.
+    description: str = ""
+
+    def __init__(self, n: int, **params):
+        if n < 2:
+            raise ExperimentError(
+                f"topology {self.family!r} needs at least 2 agents, got n={n}"
+            )
+        self._n = int(n)
+        self._params: Dict = dict(params)
+
+    @property
+    def n(self) -> int:
+        """Population size (number of graph nodes)."""
+        return self._n
+
+    @property
+    def params(self) -> Dict:
+        """Canonicalized construction parameters."""
+        return dict(self._params)
+
+    @property
+    def is_complete(self) -> bool:
+        """Whether every ordered pair of distinct agents is possible."""
+        return False
+
+    def identity(self) -> Dict:
+        """Stable coordinates of this topology (family, n, params)."""
+        return {"family": self.family, "n": self._n, "params": self.params}
+
+    # ------------------------------------------------------------------
+    # Sampling
+    # ------------------------------------------------------------------
+    @abc.abstractmethod
+    def sample_pairs(self, rng: np.random.Generator, count: int) -> np.ndarray:
+        """``count`` ordered pairs as an ``(count, 2)`` int64 array.
+
+        Must consume a generator call pattern that depends only on
+        ``count`` — this is what makes the pair stream independent of how
+        it is chunked *given a fixed chunk size* and keeps engines
+        bit-identical.
+        """
+
+    @abc.abstractmethod
+    def pair_distribution(self) -> Tuple[np.ndarray, np.ndarray]:
+        """Exact sampling distribution: ``(pairs, probabilities)``.
+
+        ``pairs`` is a ``(k, 2)`` array of the ordered pairs with positive
+        probability; ``probabilities`` sums to 1.  Used by the chi-square
+        uniformity tests and the operator matrix, not by the hot path.
+        """
+
+    def stream(self):
+        """A fresh, stateful pair stream for one run (see scheduler)."""
+        from .scheduler import DirectPairStream
+
+        return DirectPairStream(self)
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def degree_stats(self) -> Dict[str, float]:
+        """Min/mean/max out-slot degree, for the operator matrix."""
+        pairs, probs = self.pair_distribution()
+        out_degree = np.bincount(pairs[:, 0], minlength=self._n)
+        return {
+            "pairs": int(len(pairs)),
+            "deg_min": int(out_degree.min()),
+            "deg_mean": float(out_degree.mean()),
+            "deg_max": int(out_degree.max()),
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"{type(self).__name__}(n={self._n}, params={self._params})"
+
+
+class CompleteTopology(Topology):
+    """Every ordered pair of distinct agents, uniformly — the paper's model."""
+
+    family = "complete"
+    kind = "implicit"
+    description = "uniform random scheduler on the complete graph (paper model)"
+
+    @property
+    def is_complete(self) -> bool:
+        return True
+
+    def sample_pairs(self, rng: np.random.Generator, count: int) -> np.ndarray:
+        n = self._n
+        initiators = rng.integers(0, n, size=count)
+        responders = rng.integers(0, n - 1, size=count)
+        responders = responders + (responders >= initiators)
+        return np.stack([initiators, responders], axis=1)
+
+    def pair_distribution(self) -> Tuple[np.ndarray, np.ndarray]:
+        n = self._n
+        grid = np.indices((n, n)).reshape(2, -1).T
+        pairs = grid[grid[:, 0] != grid[:, 1]]
+        probs = np.full(len(pairs), 1.0 / (n * (n - 1)))
+        return pairs.astype(np.int64), probs
+
+
+class _SlotTopology(Topology):
+    """Implicit family sampling a uniform agent plus a uniform direction.
+
+    Subclasses provide ``_offsets()`` — the per-direction neighbor map.
+    A pair's probability is ``slots / (n · n_dirs)`` where ``slots`` counts
+    the directions mapping onto it (e.g. both ring directions reach the
+    same neighbor when n == 2).
+    """
+
+    def _neighbors(self, nodes: np.ndarray, direction: np.ndarray) -> np.ndarray:
+        raise NotImplementedError
+
+    @property
+    def _n_directions(self) -> int:
+        raise NotImplementedError
+
+    def sample_pairs(self, rng: np.random.Generator, count: int) -> np.ndarray:
+        initiators = rng.integers(0, self._n, size=count)
+        direction = rng.integers(0, self._n_directions, size=count)
+        responders = self._neighbors(initiators, direction)
+        return np.stack([initiators, responders], axis=1)
+
+    def pair_distribution(self) -> Tuple[np.ndarray, np.ndarray]:
+        nodes = np.arange(self._n, dtype=np.int64)
+        weights: Dict[Tuple[int, int], int] = {}
+        for d in range(self._n_directions):
+            direction = np.full(self._n, d, dtype=np.int64)
+            responders = self._neighbors(nodes, direction)
+            for i, j in zip(nodes.tolist(), responders.tolist()):
+                weights[(i, j)] = weights.get((i, j), 0) + 1
+        pairs = np.array(sorted(weights), dtype=np.int64)
+        total = self._n * self._n_directions
+        probs = np.array([weights[tuple(p)] for p in pairs.tolist()]) / total
+        return pairs, probs
+
+
+class RingTopology(_SlotTopology):
+    """Directed cycle neighbors in both directions (Herman-style ring)."""
+
+    family = "ring"
+    kind = "implicit"
+    description = "cycle graph; each agent talks to its two ring neighbors"
+
+    def __init__(self, n: int, **params):
+        super().__init__(n, **params)
+        if params:
+            raise ExperimentError(
+                f"topology 'ring' takes no parameters, got {sorted(params)}"
+            )
+
+    @property
+    def _n_directions(self) -> int:
+        return 2
+
+    def _neighbors(self, nodes: np.ndarray, direction: np.ndarray) -> np.ndarray:
+        step = np.where(direction == 1, 1, -1)
+        return (nodes + step) % self._n
+
+
+class Grid2dTopology(_SlotTopology):
+    """2-d torus grid; ``rows × cols`` must equal ``n``.
+
+    Defaults to the most square factorization of ``n`` (a prime ``n``
+    degenerates to a 1×n torus, i.e. a ring).  Axes of length 1 contribute
+    no directions; axes of length 2 reach the same neighbor both ways,
+    doubling that edge's slot weight.
+    """
+
+    family = "grid2d"
+    kind = "implicit"
+    description = "2-d torus grid (rows x cols, defaults to most-square split)"
+
+    def __init__(self, n: int, rows: Optional[int] = None, cols: Optional[int] = None, **params):
+        if params:
+            raise ExperimentError(
+                f"topology 'grid2d' accepts rows/cols, got {sorted(params)}"
+            )
+        if rows is None and cols is None:
+            rows = max(d for d in range(1, int(n ** 0.5) + 1) if n % d == 0)
+            cols = n // rows
+        elif rows is None:
+            if n % int(cols) != 0:
+                raise ExperimentError(f"cols={cols} does not divide n={n}")
+            cols = int(cols)
+            rows = n // cols
+        elif cols is None:
+            if n % int(rows) != 0:
+                raise ExperimentError(f"rows={rows} does not divide n={n}")
+            rows = int(rows)
+            cols = n // rows
+        else:
+            rows, cols = int(rows), int(cols)
+        if rows * cols != n or rows < 1 or cols < 1:
+            raise ExperimentError(
+                f"grid2d needs rows*cols == n, got {rows}x{cols} != {n}"
+            )
+        super().__init__(n, rows=rows, cols=cols)
+        self._rows, self._cols = rows, cols
+        axes = []
+        if rows > 1:
+            axes.extend([(-1, 0), (1, 0)])
+        if cols > 1:
+            axes.extend([(0, -1), (0, 1)])
+        if not axes:
+            raise ExperimentError(f"grid2d 1x1 has no edges (n={n})")
+        self._dr = np.array([a[0] for a in axes], dtype=np.int64)
+        self._dc = np.array([a[1] for a in axes], dtype=np.int64)
+
+    @property
+    def _n_directions(self) -> int:
+        return len(self._dr)
+
+    def _neighbors(self, nodes: np.ndarray, direction: np.ndarray) -> np.ndarray:
+        r, c = nodes // self._cols, nodes % self._cols
+        r = (r + self._dr[direction]) % self._rows
+        c = (c + self._dc[direction]) % self._cols
+        return r * self._cols + c
+
+
+class CSRTopology(Topology):
+    """Arbitrary-graph family: CSR adjacency + alias-method sampling.
+
+    Subclasses implement :meth:`_build_edges` returning the undirected edge
+    multiset (drawn only from the dedicated graph generator).  Sampling
+    picks an initiator proportionally to degree (alias method over stub
+    counts) and then a uniform neighbor slot — the uniform distribution
+    over directed stubs, so a multi-edge's weight is its multiplicity.
+    """
+
+    kind = "csr"
+
+    def __init__(self, n: int, graph_seed: int = 0, **params):
+        super().__init__(n, graph_seed=int(graph_seed), **params)
+        rng = _graph_rng(self.family, n, dict(sorted(params.items())), int(graph_seed))
+        edges = np.asarray(self._build_edges(rng), dtype=np.int64)
+        if len(edges) == 0:
+            raise ExperimentError(f"topology {self.family!r} produced no edges")
+        self._indptr, self._indices, self._degrees = build_csr(n, edges)
+        if np.any(self._degrees == 0):
+            raise ExperimentError(
+                f"topology {self.family!r} left isolated agents; "
+                "construction must connect every node"
+            )
+        self._alias = AliasSampler(self._degrees.astype(np.float64))
+        self._n_stubs = int(self._degrees.sum())
+
+    def _build_edges(self, rng: np.random.Generator) -> np.ndarray:
+        raise NotImplementedError
+
+    @property
+    def degrees(self) -> np.ndarray:
+        return self._degrees.copy()
+
+    @property
+    def csr(self) -> Tuple[np.ndarray, np.ndarray]:
+        return self._indptr.copy(), self._indices.copy()
+
+    def sample_pairs(self, rng: np.random.Generator, count: int) -> np.ndarray:
+        initiators = self._alias.sample(rng, count)
+        u = rng.random(count)
+        offsets = (u * self._degrees[initiators]).astype(np.int64)
+        responders = self._indices[self._indptr[initiators] + offsets]
+        return np.stack([initiators, responders], axis=1)
+
+    def pair_distribution(self) -> Tuple[np.ndarray, np.ndarray]:
+        weights: Dict[Tuple[int, int], int] = {}
+        for i in range(self._n):
+            for j in self._indices[self._indptr[i]:self._indptr[i + 1]].tolist():
+                weights[(i, j)] = weights.get((i, j), 0) + 1
+        pairs = np.array(sorted(weights), dtype=np.int64)
+        probs = np.array([weights[tuple(p)] for p in pairs.tolist()]) / self._n_stubs
+        return pairs, probs
+
+    @staticmethod
+    def _connect(n: int, edges: np.ndarray, rng: np.random.Generator) -> np.ndarray:
+        """Join components with one extra edge each, deterministically.
+
+        Convergence experiments need a connected graph; the repair draws
+        from the same graph generator, so it is part of the seed-derived
+        construction.
+        """
+        labels = connected_components(n, edges)
+        roots = np.unique(labels)
+        if len(roots) == 1:
+            return edges
+        extra = []
+        anchor_component = roots[0]
+        anchors = np.flatnonzero(labels == anchor_component)
+        for root in roots[1:]:
+            members = np.flatnonzero(labels == root)
+            a = int(members[rng.integers(0, len(members))])
+            b = int(anchors[rng.integers(0, len(anchors))])
+            extra.append((a, b))
+        return np.concatenate([edges, np.array(extra, dtype=np.int64)])
+
+
+class RandomRegularTopology(CSRTopology):
+    """Random d-regular multigraph: superposed seed-derived Hamiltonian cycles.
+
+    ``degree`` must be even (default 4): the graph is the union of
+    ``degree/2`` independent random cycles, so every node has exactly
+    ``degree`` stubs and the graph is connected by construction.  Repeated
+    edges across cycles keep their multiplicity as sampling weight.
+    """
+
+    family = "random_regular"
+    description = "random d-regular multigraph (union of degree/2 random cycles)"
+
+    def __init__(self, n: int, degree: int = 4, graph_seed: int = 0):
+        degree = int(degree)
+        if degree < 2 or degree % 2 != 0:
+            raise ExperimentError(
+                f"random_regular degree must be a positive even integer, got {degree}"
+            )
+        self._degree = degree
+        super().__init__(n, graph_seed=graph_seed, degree=degree)
+
+    def _build_edges(self, rng: np.random.Generator) -> np.ndarray:
+        chunks = []
+        for _ in range(self._degree // 2):
+            order = rng.permutation(self._n)
+            chunks.append(np.stack([order, np.roll(order, -1)], axis=1))
+        return np.concatenate(chunks)
+
+
+class ErdosRenyiTopology(CSRTopology):
+    """G(n, p) with a connectivity repair.
+
+    ``p`` defaults to ``min(1, 4·ln(n)/n)`` — comfortably above the
+    connectivity threshold.  Isolated nodes and stray components are joined
+    to the first component with one extra seed-derived edge each (the graph
+    would otherwise be useless for convergence measurements).
+    """
+
+    family = "erdos_renyi"
+    description = "G(n, p) random graph, components joined (p ~ 4 ln n / n)"
+
+    def __init__(self, n: int, p: Optional[float] = None, graph_seed: int = 0):
+        if p is None:
+            p = min(1.0, 4.0 * float(np.log(max(n, 2))) / n)
+        p = float(p)
+        if not 0.0 < p <= 1.0:
+            raise ExperimentError(f"erdos_renyi p must be in (0, 1], got {p}")
+        self._p = p
+        super().__init__(n, graph_seed=graph_seed, p=p)
+
+    def _build_edges(self, rng: np.random.Generator) -> np.ndarray:
+        n = self._n
+        rows, cols = np.triu_indices(n, k=1)
+        mask = rng.random(len(rows)) < self._p
+        edges = np.stack([rows[mask], cols[mask]], axis=1).astype(np.int64)
+        if len(edges) == 0:
+            edges = np.empty((0, 2), dtype=np.int64)
+        return self._connect(n, edges, rng)
+
+
+class PowerLawTopology(CSRTopology):
+    """Barabási–Albert preferential attachment (power-law degrees).
+
+    Starts from a clique on ``m + 1`` nodes; each later node attaches to
+    ``m`` distinct existing nodes sampled proportionally to degree.
+    Connected by construction.  Requires ``n > m >= 1`` (default m=2).
+    """
+
+    family = "power_law"
+    description = "Barabasi-Albert preferential attachment (m edges per node)"
+
+    def __init__(self, n: int, m: int = 2, graph_seed: int = 0):
+        m = int(m)
+        if m < 1:
+            raise ExperimentError(f"power_law m must be >= 1, got {m}")
+        if n <= m:
+            raise ExperimentError(f"power_law needs n > m, got n={n}, m={m}")
+        self._m = m
+        super().__init__(n, graph_seed=graph_seed, m=m)
+
+    def _build_edges(self, rng: np.random.Generator) -> np.ndarray:
+        n, m = self._n, self._m
+        edges = []
+        stubs = []  # one entry per stub: preferential attachment weight
+        core = min(m + 1, n)
+        for i in range(core):
+            for j in range(i + 1, core):
+                edges.append((i, j))
+                stubs.extend((i, j))
+        for node in range(core, n):
+            targets: set = set()
+            while len(targets) < m:
+                pick = int(stubs[int(rng.integers(0, len(stubs)))])
+                targets.add(pick)
+            for target in sorted(targets):
+                edges.append((node, target))
+                stubs.extend((node, target))
+        return np.array(edges, dtype=np.int64)
+
+
+# ----------------------------------------------------------------------
+# Delay distributions for the async wrapper
+# ----------------------------------------------------------------------
+def _geometric_delay(mean: float = 4.0):
+    mean = float(mean)
+    if mean < 0:
+        raise ExperimentError(f"geometric delay mean must be >= 0, got {mean}")
+    if mean == 0:
+        return lambda rng, count: (rng.random(count) * 0).astype(np.int64)
+    p = 1.0 / (1.0 + mean)
+    log1mp = float(np.log1p(-p))
+
+    def draw(rng: np.random.Generator, count: int) -> np.ndarray:
+        u = rng.random(count)
+        # log1p(-u) is finite for u in [0, 1), so no overflow at u == 0.
+        return np.floor(np.log1p(-u) / log1mp).astype(np.int64)
+
+    return draw
+
+
+def _fixed_delay(delay: int = 4):
+    delay = int(delay)
+    if delay < 0:
+        raise ExperimentError(f"fixed delay must be >= 0, got {delay}")
+
+    def draw(rng: np.random.Generator, count: int) -> np.ndarray:
+        # Consume the same call pattern as the random distributions so
+        # swapping distributions never silently shifts the base stream.
+        rng.random(count)
+        return np.full(count, delay, dtype=np.int64)
+
+    return draw
+
+
+def _uniform_delay(low: int = 0, high: int = 8):
+    low, high = int(low), int(high)
+    if not 0 <= low <= high:
+        raise ExperimentError(f"uniform delay needs 0 <= low <= high, got [{low}, {high}]")
+
+    def draw(rng: np.random.Generator, count: int) -> np.ndarray:
+        u = rng.random(count)
+        return (low + np.floor(u * (high - low + 1))).astype(np.int64)
+
+    return draw
+
+
+#: Pluggable delay distributions for the ``delayed`` wrapper.  Each entry is
+#: a builder ``(**params) -> (rng, count) -> int64 delays``; every builder's
+#: draw function consumes exactly one ``rng.random(count)`` call, so the
+#: choice of distribution does not perturb the base pair stream.
+DELAY_DISTRIBUTIONS = {
+    "geometric": _geometric_delay,
+    "fixed": _fixed_delay,
+    "uniform": _uniform_delay,
+}
+
+
+class DelayedTopology(Topology):
+    """Asynchronous wrapper: base-family pairs delivered through a delay queue.
+
+    Each scheduled interaction is pushed onto a pending queue with a
+    seed-derived delay drawn from a pluggable distribution and delivered
+    when it is the earliest due (FIFO among ties), modelling message
+    latency.  The long-run pair distribution equals the base family's —
+    delivery is a permutation of the base stream — but bursts and
+    reorderings change the trajectory.
+
+    Parameters: ``base`` (family name, default ``"complete"``),
+    ``base_params`` (dict), ``delay`` (distribution name, default
+    ``"geometric"``), ``delay_params`` (dict, e.g. ``{"mean": 4.0}``).
+    """
+
+    family = "delayed"
+    kind = "wrapper"
+    description = "async wrapper: base family + seed-derived delivery delays"
+
+    def __init__(
+        self,
+        n: int,
+        base: str = "complete",
+        base_params: Optional[Mapping] = None,
+        delay: str = "geometric",
+        delay_params: Optional[Mapping] = None,
+        **params,
+    ):
+        if params:
+            raise ExperimentError(
+                f"topology 'delayed' accepts base/base_params/delay/"
+                f"delay_params, got {sorted(params)}"
+            )
+        base_params = dict(base_params or {})
+        delay_params = dict(delay_params or {})
+        if base == "delayed":
+            raise ExperimentError("delayed topologies cannot nest")
+        if delay not in DELAY_DISTRIBUTIONS:
+            raise ExperimentError(
+                f"unknown delay distribution {delay!r}; "
+                f"choose from {sorted(DELAY_DISTRIBUTIONS)}"
+            )
+        super().__init__(
+            n, base=base, base_params=base_params,
+            delay=delay, delay_params=delay_params,
+        )
+        self._base = build_topology(base, n, base_params)
+        self._delay_name = delay
+        self._delay_fn = DELAY_DISTRIBUTIONS[delay](**delay_params)
+
+    @property
+    def base(self) -> Topology:
+        return self._base
+
+    @property
+    def delay_fn(self):
+        return self._delay_fn
+
+    @property
+    def is_complete(self) -> bool:
+        # Reachability matches the base graph, but delivery is asynchronous:
+        # aggregate/group engines must still refuse it.
+        return False
+
+    def sample_pairs(self, rng: np.random.Generator, count: int) -> np.ndarray:
+        raise ExperimentError(
+            "delayed topologies are stateful; sample through stream()"
+        )
+
+    def pair_distribution(self) -> Tuple[np.ndarray, np.ndarray]:
+        return self._base.pair_distribution()
+
+    def stream(self):
+        from .scheduler import DelayedPairStream
+
+        return DelayedPairStream(self._base.stream(), self._delay_fn)
+
+
+# ----------------------------------------------------------------------
+# Registry
+# ----------------------------------------------------------------------
+_REGISTRY: Dict[str, Type[Topology]] = {}
+_CACHE: Dict[str, Topology] = {}
+
+
+def register_topology(cls: Type[Topology]) -> Type[Topology]:
+    """Register a topology family class under ``cls.family``.
+
+    Like the backend and scenario registries, registration must happen at
+    import time of a module worker processes also import, or parallel
+    studies will not find the family.
+    """
+    if not cls.family:
+        raise ExperimentError(f"{cls.__name__} must set a non-empty family name")
+    _REGISTRY[cls.family] = cls
+    return cls
+
+
+def get_topology(name: str) -> Type[Topology]:
+    """Look up a topology family class by name."""
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        raise ExperimentError(
+            f"unknown topology {name!r}; choose from {topology_names()}"
+        ) from None
+
+
+def topology_names() -> Tuple[str, ...]:
+    """Registered family names, in registration order."""
+    return tuple(_REGISTRY)
+
+
+def _cache_key(name: str, n: int, params: Mapping) -> str:
+    return json.dumps(
+        {"family": name, "n": n, "params": dict(sorted(params.items()))},
+        sort_keys=True, default=str,
+    )
+
+
+def build_topology(name: str, n: int, params: Optional[Mapping] = None) -> Topology:
+    """Construct (or fetch from the process-local cache) one topology.
+
+    Construction is deterministic in ``(name, n, params)``, so caching is
+    purely an optimization: random families build their graph once per
+    process and share it across every seed of a cell.
+    """
+    params = dict(params or {})
+    key = _cache_key(name, n, params)
+    cached = _CACHE.get(key)
+    if cached is None:
+        cached = get_topology(name)(n, **params)
+        _CACHE[key] = cached
+    return cached
+
+
+def describe_topology(name: str, n: int, params: Optional[Mapping] = None) -> Dict:
+    """Family facts + degree stats at size ``n``, for the operator matrix."""
+    cls = get_topology(name)
+    topology = build_topology(name, n, params)
+    stats = topology.degree_stats()
+    return {
+        "family": name,
+        "kind": cls.kind,
+        "description": cls.description,
+        "n": n,
+        **stats,
+    }
+
+
+for _cls in (
+    CompleteTopology,
+    RingTopology,
+    Grid2dTopology,
+    RandomRegularTopology,
+    ErdosRenyiTopology,
+    PowerLawTopology,
+    DelayedTopology,
+):
+    register_topology(_cls)

@@ -7,8 +7,12 @@ import pytest
 from repro.analysis.theory import (
     burman_state_count,
     cai_state_count,
+    complete_epidemic_expected_interactions,
+    herman_ring_conjectured_bound,
+    herman_ring_upper_bound,
     normalized_stabilization_time,
     range_ranking_lower_bound,
+    ring_epidemic_expected_interactions,
     silent_leader_election_lower_bound,
     state_complexity_summary,
     theorem1_interaction_bound,
@@ -69,3 +73,45 @@ class TestNormalization:
     def test_rejects_tiny_population(self):
         with pytest.raises(AnalysisError):
             normalized_stabilization_time(100, 1)
+
+
+class TestRingOverlays:
+    def test_herman_band_brackets_the_ring_constant(self):
+        # 4/27 ≈ 0.148 < 0.64: the conjectured sharp constant sits below
+        # the proved general bound for every n.
+        for n in (8, 64, 1024):
+            assert herman_ring_conjectured_bound(n) == pytest.approx(
+                4.0 * n * n / 27.0
+            )
+            assert herman_ring_conjectured_bound(n) < herman_ring_upper_bound(n)
+            assert herman_ring_upper_bound(n) == pytest.approx(0.64 * n * n)
+
+    def test_ring_epidemic_expectation_is_exact(self):
+        # 2 of the 2n directed slots grow the informed arc, so each of the
+        # n-1 growth events waits Geometric(1/n): the total is n(n-1).
+        assert ring_epidemic_expected_interactions(2) == 2.0
+        assert ring_epidemic_expected_interactions(64) == 64.0 * 63.0
+
+    def test_complete_epidemic_expectation_is_exact(self):
+        # Sum of geometric waits n(n-1) / (k(n-k)) telescopes to
+        # 2(n-1)·H(n-1).
+        n = 6
+        expected = sum(n * (n - 1) / (k * (n - k)) for k in range(1, n))
+        assert complete_epidemic_expected_interactions(n) == pytest.approx(expected)
+
+    def test_ring_dominates_complete_for_large_n(self):
+        # Θ(n²) vs Θ(n log n): the restricted topology must be slower.
+        for n in (16, 256):
+            assert ring_epidemic_expected_interactions(n) > (
+                complete_epidemic_expected_interactions(n)
+            )
+
+    def test_overlays_reject_tiny_populations(self):
+        for fn in (
+            herman_ring_conjectured_bound,
+            herman_ring_upper_bound,
+            ring_epidemic_expected_interactions,
+            complete_epidemic_expected_interactions,
+        ):
+            with pytest.raises(AnalysisError):
+                fn(1)

@@ -250,3 +250,100 @@ class TestCacheCommand:
         assert main(args + ["--out", str(tmp_path / "out2")]) == 0
         out = capsys.readouterr().out
         assert "table store: loaded" in out
+
+
+class TestTopologyCli:
+    def test_list_topologies_prints_the_matrix(self, capsys):
+        assert main(["list", "--topologies"]) == 0
+        out = capsys.readouterr().out
+        assert "topologies (interaction graphs" in out
+        for family in ("complete", "ring", "grid2d", "random_regular",
+                       "erdos_renyi", "power_law", "delayed"):
+            assert family in out
+        assert "degree min/mean/max" in out
+        # The sweep preset shows up in the capability matrix with its
+        # restricted variants resolved to an agent-level backend.
+        assert "topology_sweep/ring: one-way-epidemic [auto] -> array" in out
+
+    def test_list_without_flag_omits_the_matrix(self, capsys):
+        assert main(["list"]) == 0
+        assert "topologies (interaction graphs" not in capsys.readouterr().out
+
+    def test_run_topology_sweep_records_topology(self, tmp_path, capsys):
+        assert main([
+            "run", "topology_sweep", "--topology", "ring", "--n", "16",
+            "--seeds", "2", "--out", str(tmp_path), "--quiet",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "Topology sweep" in out
+        assert "Herman ring band" in out
+        store_dir = next(tmp_path.iterdir())
+        rows = [
+            json.loads(line)
+            for line in (store_dir / "rows.jsonl").read_text().splitlines()
+        ]
+        assert {row["variant"] for row in rows} == {"complete", "ring"}
+        by_variant = {}
+        for row in rows:
+            by_variant.setdefault(row["variant"], []).append(row)
+        assert all(r["topology"] == "ring" for r in by_variant["ring"])
+        assert all(r["topology"] == "complete" for r in by_variant["complete"])
+        # Restricted cells must have been served by a concrete agent-level
+        # backend — never the population-level engines, never raw "auto".
+        assert all(
+            r["engine"] not in ("auto", "aggregate", "group")
+            for r in by_variant["ring"]
+        )
+
+    def test_python_m_repro_list_topologies_subprocess(self):
+        environment = {
+            **os.environ,
+            "PYTHONPATH": str(REPO_SRC)
+            + (os.pathsep + os.environ["PYTHONPATH"] if os.environ.get("PYTHONPATH") else ""),
+        }
+        completed = subprocess.run(
+            [sys.executable, "-m", "repro", "list", "--topologies"],
+            capture_output=True,
+            text=True,
+            env=environment,
+            timeout=300,
+        )
+        assert completed.returncode == 0, completed.stderr
+        assert "topologies (interaction graphs" in completed.stdout
+        assert "power_law" in completed.stdout
+        assert "async wrapper" in completed.stdout
+
+
+class TestPresetSpecs:
+    def test_defaults_match_the_cli(self):
+        from repro.experiments.cli import EXPERIMENTS, _build_parser, preset_specs
+
+        parser = _build_parser()
+        for experiment in sorted(EXPERIMENTS):
+            args = parser.parse_args(["run", experiment])
+            expected = [s.as_dict() for s in EXPERIMENTS[experiment]["specs"](args)]
+            actual = [s.as_dict() for s in preset_specs(experiment)]
+            assert actual == expected, experiment
+
+    def test_overrides_apply_with_cli_semantics(self):
+        from repro.experiments.cli import preset_specs
+
+        specs = preset_specs(
+            "topology_sweep",
+            {"topology": "ring", "n": "8,16", "seeds": 3, "max-factor": 30},
+        )
+        assert [s.variant for s in specs] == ["complete", "ring"]
+        assert all(s.n_values == (8, 16) for s in specs)
+        assert all(s.seeds == 3 for s in specs)
+        assert all(s.max_interactions_factor == 30.0 for s in specs)
+
+    def test_unknown_preset_and_override_raise(self):
+        from repro.core.errors import ExperimentError
+        from repro.experiments.cli import preset_specs
+
+        with pytest.raises(ExperimentError, match="unknown experiment"):
+            preset_specs("figure9")
+        with pytest.raises(ExperimentError, match="unknown preset override"):
+            preset_specs("figure2", {"bogus": 1})
+        with pytest.raises(ExperimentError, match="not a spec option"):
+            preset_specs("figure2", {"out": "/tmp/elsewhere"})

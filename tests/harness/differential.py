@@ -176,8 +176,14 @@ def run_serial(
     stop_on_convergence: bool = True,
     cache: Optional[EngineCache] = None,
     metrics_factory: Optional[Callable[[], object]] = None,
+    topology=None,
 ) -> Trajectory:
-    """Run one cell on one registered agent backend and snapshot it."""
+    """Run one cell on one registered agent backend and snapshot it.
+
+    ``topology`` is a built :class:`repro.topologies.Topology` (or None
+    for the complete-graph default) — exactly what the study layer hands
+    the backends for a restricted cell.
+    """
     backend = get_backend(engine)
     kwargs = dict(
         random_state=seed,
@@ -187,6 +193,8 @@ def run_serial(
         kwargs["metrics"] = metrics_factory()
     if backend.uses_cache:
         kwargs["cache"] = cache if cache is not None else EngineCache()
+    if topology is not None:
+        kwargs["topology"] = topology
     simulator = backend.create(protocol_factory(n), **kwargs)
     return snapshot(
         simulator.run(
@@ -206,6 +214,7 @@ def run_batched(
     cache: Optional[EngineCache] = None,
     metrics_factory: Optional[Callable[[], object]] = None,
     use_soa_kernel: bool = False,
+    topology=None,
 ) -> List[Trajectory]:
     """Run a seed group through one lockstep batched simulator.
 
@@ -225,6 +234,7 @@ def run_batched(
         convergence_interval=n,
         cache=cache if cache is not None else EngineCache(),
         use_soa_kernel=use_soa_kernel,
+        topology=topology,
     )
     return [
         snapshot(result)
@@ -243,16 +253,21 @@ def differential_trajectories(
     workload: str = "fresh",
     stop_on_convergence: bool = True,
     metrics_factory: Optional[Callable[[], object]] = None,
+    topology=None,
 ) -> Dict[str, List[Trajectory]]:
     """Every capable trajectory engine's per-seed snapshots, plus batched.
 
     Returns ``{engine_name: [trajectory per seed]}`` with ``"reference"``
     always present (the comparison anchor) and ``"array-batched"`` holding
     the lockstep engine's lanes.  Each engine uses one cache across its
-    seeds, mirroring how a study amortizes tabulation.
+    seeds, mirroring how a study amortizes tabulation.  ``topology`` (a
+    built :class:`repro.topologies.Topology`) restricts the interaction
+    graph on every engine; capability filtering uses its family name, so
+    distribution-class backends drop out exactly as they do in a study.
     """
     results: Dict[str, List[Trajectory]] = {}
-    for engine in trajectory_engines(protocol_factory(n), workload, n):
+    probe = {"topology": topology.family} if topology is not None else {}
+    for engine in trajectory_engines(protocol_factory(n), workload, n, **probe):
         cache = EngineCache()
         results[engine] = [
             run_serial(
@@ -264,6 +279,7 @@ def differential_trajectories(
                 stop_on_convergence=stop_on_convergence,
                 cache=cache,
                 metrics_factory=metrics_factory,
+                topology=topology,
             )
             for seed in seeds
         ]
@@ -274,6 +290,7 @@ def differential_trajectories(
         budget=budget,
         stop_on_convergence=stop_on_convergence,
         metrics_factory=metrics_factory,
+        topology=topology,
     )
     return results
 
@@ -286,6 +303,7 @@ def assert_batched_matches_serial(
     budget: int,
     stop_on_convergence: bool = True,
     metrics_factory: Optional[Callable[[], object]] = None,
+    topology=None,
 ) -> Dict[str, List[Trajectory]]:
     """The headline differential claim, as one call.
 
@@ -300,6 +318,7 @@ def assert_batched_matches_serial(
         budget=budget,
         stop_on_convergence=stop_on_convergence,
         metrics_factory=metrics_factory,
+        topology=topology,
     )
     anchor = results["reference"]
     for engine, trajectories in results.items():

@@ -203,3 +203,66 @@ class TestOperatorListing:
         out = capsys.readouterr().out
         assert "drained 2 job(s)" in out
         assert service.progress(summary["study"])["complete"]
+
+
+class TestPresetSubmission:
+    def test_preset_submission_builds_cli_specs(self, tmp_path):
+        service = StudyService(tmp_path)
+        summary = service.submit(
+            {
+                "preset": "topology_sweep",
+                "topology": "ring",
+                "n": "16",
+                "seeds": 2,
+            }
+        )
+        assert summary["name"] == "topology_sweep"
+        assert summary["total"] == 4  # (complete + ring) x 2 seeds
+        assert summary["enqueued_jobs"] == 4
+        # The recorded spec.json round-trips the topology axis, so any
+        # worker that attaches plans the same restricted cells.
+        run_worker(summary["directory"], lease_timeout=5.0)
+        rows = service.rows(summary["study"])
+        by_variant = {}
+        for row in rows:
+            by_variant.setdefault(row["variant"], []).append(row)
+        assert set(by_variant) == {"complete", "ring"}
+        assert all(r["topology"] == "ring" for r in by_variant["ring"])
+        assert all(
+            r["engine"] not in ("auto", "aggregate", "group")
+            for r in by_variant["ring"]
+        )
+
+    def test_preset_submission_rejections(self, tmp_path):
+        service = StudyService(tmp_path)
+        with pytest.raises(ExperimentError, match="unknown experiment"):
+            service.submit({"preset": "figure9"})
+        with pytest.raises(ExperimentError, match="unknown preset override"):
+            service.submit({"preset": "figure2", "bogus": 1})
+        with pytest.raises(ExperimentError, match="not both"):
+            service.submit(
+                {"preset": "figure2", "specs": [spec().as_dict()]}
+            )
+
+    def test_preset_submission_over_http(self, tmp_path):
+        httpd, service = make_server(tmp_path / "served", port=0)
+        thread = threading.Thread(target=httpd.serve_forever, daemon=True)
+        thread.start()
+        base = f"http://127.0.0.1:{httpd.server_address[1]}"
+        try:
+            request = urllib.request.Request(
+                f"{base}/studies",
+                data=json.dumps(
+                    {"preset": "scaling", "n": "8", "seeds": 1}
+                ).encode(),
+                headers={"Content-Type": "application/json"},
+                method="POST",
+            )
+            with urllib.request.urlopen(request, timeout=30) as response:
+                assert response.status == 201
+                summary = json.loads(response.read())
+            assert summary["name"] == "scaling"
+            assert summary["total"] == 1
+        finally:
+            httpd.shutdown()
+            httpd.server_close()

@@ -1,0 +1,198 @@
+"""Unit tests for the topology subsystem: registry, construction,
+determinism and — the statistical heart — chi-square uniformity of the
+sampled edges against each family's declared pair distribution.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.errors import ExperimentError
+from repro.topologies import (
+    DELAY_DISTRIBUTIONS,
+    AliasSampler,
+    CompleteTopology,
+    DelayedTopology,
+    build_csr,
+    build_topology,
+    connected_components,
+    describe_topology,
+    get_topology,
+    topology_names,
+)
+from repro.topologies.topology import _CACHE
+
+
+FAMILIES = (
+    "complete",
+    "ring",
+    "grid2d",
+    "random_regular",
+    "erdos_renyi",
+    "power_law",
+    "delayed",
+)
+
+
+class TestRegistry:
+    def test_all_families_registered(self):
+        assert set(FAMILIES) <= set(topology_names())
+
+    def test_get_unknown_raises_with_choices(self):
+        with pytest.raises(ExperimentError, match="unknown topology"):
+            get_topology("moebius")
+
+    def test_build_rejects_bad_params(self):
+        with pytest.raises(ExperimentError):
+            build_topology("ring", 8, {"degree": 3})
+        with pytest.raises(ExperimentError):
+            build_topology("grid2d", 8, {"rows": 3})  # 3 does not divide 8
+        with pytest.raises(ExperimentError):
+            build_topology("random_regular", 8, {"degree": 3})  # odd
+        with pytest.raises(ExperimentError):
+            build_topology("power_law", 4, {"m": 4})  # needs n > m
+        with pytest.raises(ExperimentError):
+            build_topology("erdos_renyi", 8, {"p": 0.0})
+
+    def test_tiny_populations_rejected(self):
+        for name in FAMILIES:
+            with pytest.raises(ExperimentError):
+                build_topology(name, 1)
+
+    def test_describe_has_family_facts_and_degrees(self):
+        info = describe_topology("ring", 8)
+        assert info["family"] == "ring"
+        assert info["kind"] == "implicit"
+        assert (info["deg_min"], info["deg_mean"], info["deg_max"]) == (2, 2.0, 2)
+        assert info["pairs"] == 16  # 8 nodes x 2 directed neighbors
+
+
+class TestDeterminism:
+    @pytest.mark.parametrize("name", ["random_regular", "erdos_renyi", "power_law"])
+    def test_graph_rebuild_is_identical_across_cache_clears(self, name):
+        first = build_topology(name, 32, {"graph_seed": 3})
+        pairs_a, probs_a = first.pair_distribution()
+        _CACHE.clear()
+        second = build_topology(name, 32, {"graph_seed": 3})
+        pairs_b, probs_b = second.pair_distribution()
+        assert np.array_equal(pairs_a, pairs_b)
+        assert np.array_equal(probs_a, probs_b)
+
+    def test_graph_seed_changes_the_graph(self):
+        a, _ = build_topology("erdos_renyi", 32, {"graph_seed": 0}).pair_distribution()
+        b, _ = build_topology("erdos_renyi", 32, {"graph_seed": 1}).pair_distribution()
+        assert not (a.shape == b.shape and np.array_equal(a, b))
+
+    def test_identity_includes_family_n_and_params(self):
+        a = build_topology("grid2d", 12, {"rows": 3})
+        b = build_topology("grid2d", 12, {"rows": 4})
+        c = build_topology("grid2d", 12, {"rows": 3})
+        assert a.identity() != b.identity()
+        assert a.identity() == c.identity()
+
+    def test_build_cache_returns_the_same_object(self):
+        a = build_topology("power_law", 16)
+        b = build_topology("power_law", 16)
+        assert a is b
+
+
+class TestPairDistributions:
+    @pytest.mark.parametrize("name", FAMILIES)
+    @pytest.mark.parametrize("n", [8, 64])
+    def test_distribution_is_normalized_and_loop_free(self, name, n):
+        topology = build_topology(name, n)
+        pairs, probs = topology.pair_distribution()
+        assert pairs.shape == (len(probs), 2)
+        assert np.all(pairs[:, 0] != pairs[:, 1])
+        assert np.all((pairs >= 0) & (pairs < n))
+        assert probs.sum() == pytest.approx(1.0)
+        assert np.all(probs > 0)
+
+    def test_complete_distribution_is_uniform_over_ordered_pairs(self):
+        pairs, probs = CompleteTopology(8).pair_distribution()
+        assert len(pairs) == 8 * 7
+        assert np.allclose(probs, 1.0 / (8 * 7))
+
+    @pytest.mark.parametrize("name", ["ring", "grid2d", "power_law"])
+    @pytest.mark.parametrize("n", [8, 64])
+    def test_sampled_edges_match_declared_weights_chi_square(self, name, n):
+        """Chi-square goodness of fit: long-run edge frequencies must match
+        ``pair_distribution`` for every family the sweep exercises."""
+        topology = build_topology(name, n)
+        pairs, probs = topology.pair_distribution()
+        draws = 200_000
+        rng = np.random.default_rng(7)
+        sampled = topology.sample_pairs(rng, draws)
+        # Count draws per declared pair via a dense (i, j) -> index map.
+        index = {(int(i), int(j)): k for k, (i, j) in enumerate(pairs)}
+        counts = np.zeros(len(pairs), dtype=np.int64)
+        for i, j in sampled:
+            counts[index[(int(i), int(j))]] += 1
+        assert counts.sum() == draws  # nothing sampled off the edge set
+        expected = probs * draws
+        assert expected.min() >= 5  # chi-square validity
+        statistic = float(((counts - expected) ** 2 / expected).sum())
+        dof = len(pairs) - 1
+        # Normal approximation of the chi-square tail: mean=dof, var=2*dof.
+        # 5 sigma keeps the fixed-seed test deterministic and far from
+        # flaky while still catching any systematic weighting error.
+        assert statistic < dof + 5.0 * np.sqrt(2.0 * dof), (
+            f"{name} n={n}: chi2={statistic:.1f} dof={dof}"
+        )
+
+    def test_power_law_has_hubs(self):
+        stats = build_topology("power_law", 256).degree_stats()
+        assert stats["deg_max"] > 4 * stats["deg_min"]
+
+
+class TestDelayedTopology:
+    def test_default_wraps_complete_with_geometric_delays(self):
+        topology = build_topology("delayed", 16)
+        assert topology.params["base"] == "complete"
+        assert topology.params["delay"] == "geometric"
+        assert not topology.is_complete
+
+    def test_rejects_nested_delayed_base(self):
+        with pytest.raises(ExperimentError):
+            DelayedTopology(16, base="delayed")
+
+    def test_rejects_unknown_delay_distribution(self):
+        with pytest.raises(ExperimentError):
+            DelayedTopology(16, delay="zipf")
+        assert set(DELAY_DISTRIBUTIONS) == {"geometric", "fixed", "uniform"}
+
+    def test_direct_sampling_is_refused(self):
+        topology = build_topology("delayed", 16)
+        with pytest.raises(ExperimentError, match="stream"):
+            topology.sample_pairs(np.random.default_rng(0), 4)
+
+    @pytest.mark.parametrize("delay", sorted(DELAY_DISTRIBUTIONS))
+    def test_delayed_stream_emits_only_base_edges(self, delay):
+        topology = DelayedTopology(12, base="ring", delay=delay)
+        pairs, _ = topology.pair_distribution()
+        allowed = {(int(i), int(j)) for i, j in pairs}
+        stream = topology.stream()
+        rng = np.random.default_rng(5)
+        out = np.concatenate(
+            [stream.sample_chunk(rng, 64) for _ in range(4)]
+        )
+        assert len(out) == 256
+        assert {(int(i), int(j)) for i, j in out} <= allowed
+
+
+class TestSamplingPrimitives:
+    def test_alias_sampler_matches_weights(self):
+        weights = np.array([1.0, 2.0, 3.0, 4.0])
+        sampler = AliasSampler(weights)
+        draws = sampler.sample(np.random.default_rng(11), 100_000)
+        freq = np.bincount(draws, minlength=4) / 100_000
+        assert np.allclose(freq, weights / weights.sum(), atol=0.01)
+
+    def test_build_csr_rejects_self_loops(self):
+        with pytest.raises(ValueError):
+            build_csr(4, np.array([[0, 0]]))
+
+    def test_connected_components_labels(self):
+        labels = connected_components(5, np.array([[0, 1], [3, 4]]))
+        assert labels[0] == labels[1]
+        assert labels[3] == labels[4]
+        assert labels[0] != labels[3] != labels[2]
